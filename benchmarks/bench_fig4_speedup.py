@@ -1,0 +1,28 @@
+"""Figure 4: loop speedups over the MIPS soft core.
+
+Regenerates the bar chart's two series (LegUp and CGPA, normalised to the
+MIPS core) plus the geomeans.  Shape targets from the paper: LegUp ~1.85x
+geomean, CGPA ~6.0x geomean over MIPS and 3.3x (3.0x-3.8x) over LegUp.
+The benchmarked quantity is one full CGPA hardware simulation (em3d).
+"""
+
+from conftest import emit
+
+from repro.harness import figure4, format_figure4, run_backend
+from repro.kernels import EM3D
+
+
+def test_figure4_speedups(benchmark, all_runs, results_dir):
+    benchmark.pedantic(
+        lambda: run_backend(EM3D, "cgpa-p1"), rounds=1, iterations=1
+    )
+    data = figure4(all_runs)
+    emit(results_dir, "fig4_speedup", format_figure4(data))
+
+    # Shape assertions: who wins, by roughly what factor.
+    for row in data.rows:
+        assert row.cgpa_speedup > row.legup_speedup, row.kernel
+        assert row.cgpa_speedup / row.legup_speedup > 2.0, row.kernel
+    assert 1.2 < data.geomean_legup < 2.6        # paper: 1.85x
+    assert 4.0 < data.geomean_cgpa < 9.0         # paper: 6.0x
+    assert 2.5 < data.geomean_cgpa_over_legup < 4.6  # paper: 3.3x

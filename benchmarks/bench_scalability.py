@@ -1,0 +1,29 @@
+"""Appendix B.1: scalability with the parallel-worker count.
+
+The paper fixes 4 workers (platform limit) but argues the exploitable
+parallelism is larger; this sweep shows throughput scaling for em3d with
+1..8 workers, with the sequential stage eventually limiting per Amdahl.
+"""
+
+from conftest import emit
+
+from repro.harness import format_scalability, scalability
+from repro.kernels import EM3D
+
+
+def test_scalability_workers(benchmark, results_dir):
+    points = benchmark.pedantic(
+        lambda: scalability(EM3D, (1, 2, 4, 8)), rounds=1, iterations=1
+    )
+    emit(results_dir, "scalability", format_scalability(points))
+
+    by_workers = {p.n_workers: p for p in points}
+    # More workers never hurt on this kernel...
+    assert by_workers[2].cycles < by_workers[1].cycles
+    assert by_workers[4].cycles < by_workers[2].cycles
+    # ...with meaningful scaling up to the paper's 4 workers.
+    assert by_workers[4].speedup_vs_one > 2.0
+    # Diminishing returns beyond (sequential stage + memory system).
+    gain_2_to_4 = by_workers[2].cycles / by_workers[4].cycles
+    gain_4_to_8 = by_workers[4].cycles / by_workers[8].cycles
+    assert gain_4_to_8 < gain_2_to_4 + 0.25

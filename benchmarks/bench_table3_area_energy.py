@@ -1,0 +1,36 @@
+"""Table 3: ALUT area, power, energy and energy efficiency per kernel.
+
+Shape targets from the paper: CGPA uses ~4.1x the ALUTs of LegUp (four
+parallel workers) at ~20% geomean energy overhead.  The benchmarked
+quantity is the area+power evaluation over precomputed simulations.
+"""
+
+from conftest import emit
+
+from repro.harness import (
+    alut_overhead_geomean,
+    energy_overhead_geomean,
+    format_table3,
+    table3,
+)
+
+
+def test_table3_area_energy(benchmark, all_runs, results_dir):
+    rows = benchmark.pedantic(lambda: table3(all_runs), rounds=1, iterations=1)
+    emit(results_dir, "table3_area_energy", format_table3(rows))
+
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row.kernel, {})[row.config] = row
+    for kernel, configs in by_kernel.items():
+        legup = configs["Legup"]
+        cgpa = configs["CGPA (P1)"]
+        # CGPA replicates the parallel stage 4x: area must grow 2.5x-6.5x.
+        assert 2.5 < cgpa.aluts / legup.aluts < 6.5, kernel
+        # CGPA burns more power (more hardware active)...
+        assert cgpa.power_mw > legup.power_mw, kernel
+        # ...but energy stays within 2x (it finishes much sooner).
+        assert cgpa.energy_uj < 2.0 * legup.energy_uj, kernel
+
+    assert 3.0 < alut_overhead_geomean(rows) < 5.5      # paper: ~4.1x
+    assert 0.95 < energy_overhead_geomean(rows) < 1.55  # paper: ~1.20x

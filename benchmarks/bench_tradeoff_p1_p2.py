@@ -1,0 +1,27 @@
+"""Section 4.2 "Tradeoff": decoupled pipelining (P1) vs replicated
+data-level parallelism (P2) for em3d and 1D-Gaussblur.
+
+Paper: P1 outperforms P2 by 6% / 15% and dissipates 11% / 14% less
+energy.  The benchmarked quantity is one P2 hardware simulation.
+"""
+
+from conftest import emit
+
+from repro.harness import format_tradeoff, run_backend, tradeoff
+from repro.kernels import GAUSSBLUR
+
+
+def test_tradeoff_p1_vs_p2(benchmark, all_runs, results_dir):
+    benchmark.pedantic(
+        lambda: run_backend(GAUSSBLUR, "cgpa-p2"), rounds=1, iterations=1
+    )
+    rows = tradeoff(all_runs)
+    emit(results_dir, "tradeoff_p1_p2", format_tradeoff(rows))
+
+    assert len(rows) == 2
+    for row in rows:
+        # Shape: P1 is faster than P2 (by single-digit to low-double-digit
+        # percent) and at most as energy-hungry.
+        assert row.p2_cycles > row.p1_cycles, row.kernel
+        assert 0.0 < row.perf_gain_pct < 45.0, row.kernel
+        assert row.p1_energy_uj < row.p2_energy_uj, row.kernel

@@ -1,0 +1,28 @@
+"""Shared fixtures: run every kernel on every backend once per session."""
+
+import pathlib
+
+import pytest
+
+from repro.harness import run_all_kernels
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def all_runs():
+    """Simulations of all five kernels on mips/legup/cgpa-p1(/p2)."""
+    return run_all_kernels()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir, name: str, text: str) -> None:
+    """Print a report and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,15 @@
+"""CGPA: Coarse-Grained Pipelined Accelerators — a full Python reproduction.
+
+This package reimplements the HLS framework of Liu, Ghosh, Johnson and
+August, *CGPA: Coarse-Grained Pipelined Accelerators* (DAC 2014): a C
+frontend, an LLVM-like IR, PDG/SCC analyses, the coarse-grained pipeline
+partitioner and transformer, an FSM scheduler with the paper's constraints,
+a Verilog emitter, and a cycle-accurate accelerator simulator with cost
+models, plus the five benchmark kernels and the experiment harness.
+
+Typical entry point::
+
+    from repro.harness import compile_and_simulate
+"""
+
+__version__ = "1.0.0"

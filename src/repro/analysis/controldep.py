@@ -1,0 +1,44 @@
+"""Control-dependence computation (Ferrante–Ottenstein–Warren).
+
+Block B is control dependent on branch block A when A has successors S1
+and S2 such that B post-dominates S1 but does not post-dominate A.  The
+classic formulation: for each CFG edge (A -> S) where S's post-dominance
+does not cover A, every block on the post-dominator-tree path from S up to
+(but excluding) ipdom(A) is control dependent on A.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from .dominators import DominatorTree, postdominator_tree
+
+
+def control_dependence(
+    function: Function, pdt: DominatorTree | None = None
+) -> dict[int, list[BasicBlock]]:
+    """id(block) -> blocks whose terminator it is control dependent on."""
+    pdt = pdt or postdominator_tree(function)
+    result: dict[int, list[BasicBlock]] = {id(b): [] for b in function.blocks}
+    for a in function.blocks:
+        successors = a.successors()
+        if len(successors) < 2:
+            continue
+        ipdom_a = pdt.idom(a)
+        for s in successors:
+            runner: BasicBlock | None = s
+            while runner is not None and runner is not ipdom_a:
+                if runner is a:
+                    # A loop header controls itself (back-edge case).
+                    bucket = result.setdefault(id(runner), [])
+                    if a not in bucket:
+                        bucket.append(a)
+                    break
+                bucket = result.setdefault(id(runner), [])
+                if a not in bucket:
+                    bucket.append(a)
+                next_runner = pdt.idom(runner)
+                if next_runner is runner:
+                    break
+                runner = next_runner
+    return result

@@ -1,0 +1,67 @@
+"""Region shape declarations — the stand-in for shape analysis.
+
+The paper cites Ghiya–Hendren ("Is it a Tree, DAG, or Cyclic Graph?",
+[14]) for the facts that let CGPA break spurious loop-carried dependences
+on recursive data structures: a loop that walks an *acyclic* list visits a
+different node every iteration, so stores through the traversal pointer in
+different iterations cannot collide.
+
+We reproduce the *interface* of that analysis rather than its heuristics:
+each benchmark declares the shape of its heap regions (by malloc site),
+and the dependence analysis consumes those facts exactly as it would
+consume shape-analysis output.  The default for an undeclared region is
+``CYCLIC`` — fully conservative.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .pointsto import EXTERNAL, AbstractObject
+
+
+class Shape(enum.Enum):
+    """Ghiya–Hendren shape lattice for a heap region."""
+
+    LIST = "list"      # acyclic, in-degree 1 chain (linked list)
+    TREE = "tree"      # acyclic, in-degree 1
+    DAG = "dag"        # acyclic, shared nodes possible
+    CYCLIC = "cyclic"  # anything (conservative default)
+
+    @property
+    def is_acyclic(self) -> bool:
+        return self is not Shape.CYCLIC
+
+
+@dataclass
+class RegionShapes:
+    """Declared shapes per allocation region.
+
+    ``by_site`` maps malloc site ids (the interpreter/points-to numbering)
+    to shapes.  Anything not present is :attr:`Shape.CYCLIC`.
+    """
+
+    by_site: dict[int, Shape] = field(default_factory=dict)
+
+    def declare(self, site: int, shape: Shape) -> "RegionShapes":
+        self.by_site[site] = shape
+        return self
+
+    def shape_of(self, obj: AbstractObject) -> Shape:
+        if obj == EXTERNAL:
+            return Shape.CYCLIC
+        if obj.kind == "malloc":
+            return self.by_site.get(obj.index, Shape.CYCLIC)
+        if obj.kind in ("global", "alloca"):
+            # Non-recursive storage: trivially acyclic.
+            return Shape.DAG
+        return Shape.CYCLIC
+
+    def all_acyclic(self, objects) -> bool:
+        return all(self.shape_of(o).is_acyclic for o in objects)
+
+
+def conservative() -> RegionShapes:
+    """No facts: every region is assumed cyclic."""
+    return RegionShapes()

@@ -1,0 +1,9 @@
+"""Area, power and energy cost models for generated accelerators."""
+
+from .area import AreaReport, accelerator_area, function_aluts, single_module_area
+from .power import DEFAULT_FREQUENCY_HZ, PowerReport, power_report
+
+__all__ = [
+    "AreaReport", "accelerator_area", "single_module_area", "function_aluts",
+    "PowerReport", "power_report", "DEFAULT_FREQUENCY_HZ",
+]

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the CGPA reproduction.
+
+Every layer of the tool raises a subclass of :class:`CgpaError` so callers
+can catch failures from the whole flow with a single except clause while
+still being able to distinguish frontend errors from backend errors.
+"""
+
+from __future__ import annotations
+
+
+class CgpaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexerError(CgpaError):
+    """Raised when the C-subset lexer encounters an invalid token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(CgpaError):
+    """Raised when the C-subset parser encounters invalid syntax."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(CgpaError):
+    """Raised for type errors and undeclared identifiers."""
+
+
+class IRError(CgpaError):
+    """Raised for malformed IR (verifier failures, bad construction)."""
+
+
+class InterpError(CgpaError):
+    """Raised when the IR interpreter hits undefined behaviour."""
+
+
+class AnalysisError(CgpaError):
+    """Raised when an analysis is asked something it cannot answer."""
+
+
+class PartitionError(CgpaError):
+    """Raised when no legal pipeline partition exists for a loop."""
+
+
+class TransformError(CgpaError):
+    """Raised when the pipeline transformation cannot be applied."""
+
+
+class ScheduleError(CgpaError):
+    """Raised when the RTL scheduler cannot satisfy its constraints."""
+
+
+class SimulationError(CgpaError):
+    """Raised on hardware-simulator level failures (deadlock, bad state)."""

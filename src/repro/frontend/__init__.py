@@ -1,0 +1,12 @@
+"""C-subset frontend: lexer, parser, semantic analysis, IR lowering."""
+
+from .ast_nodes import TranslationUnit
+from .lexer import Token, tokenize
+from .lower import compile_c
+from .parser import Parser, parse
+from .sema import TypeContext, analyze
+
+__all__ = [
+    "tokenize", "Token", "parse", "Parser", "analyze", "TypeContext",
+    "compile_c", "TranslationUnit",
+]

@@ -1,0 +1,164 @@
+"""Lexer for the C subset accepted by the CGPA frontend.
+
+The subset covers what the five benchmark kernels and typical irregular
+pointer-chasing code need: the usual operators, control keywords,
+``struct``/``typedef`` declarations, integer/float literals, and comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LexerError
+
+KEYWORDS = {
+    "void", "int", "char", "float", "double", "unsigned", "long",
+    "struct", "typedef", "if", "else", "for", "while", "do", "return",
+    "break", "continue", "sizeof", "const",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_OPS = [
+    "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+]
+
+SINGLE_OPS = set("+-*/%<>=!&|^~?:.,;(){}[]")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # 'ident', 'keyword', 'int', 'float', 'op', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert C source text into a token list ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexerError:
+        return LexerError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # Numbers: int, hex int, float (with '.', exponent, 'f' suffix).
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                if i < n and source[i] == ".":
+                    is_float = True
+                    i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+                if i < n and source[i] in "eE":
+                    is_float = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                    if i >= n or not source[i].isdigit():
+                        raise error("malformed float exponent")
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            if i < n and source[i] in "fF" and is_float:
+                i += 1
+                text += "f"
+            elif i < n and source[i] in "uUlL":
+                while i < n and source[i] in "uUlL":
+                    i += 1
+            tokens.append(Token("float" if is_float else "int", text, line, col))
+            col += i - start
+            continue
+        # Character literals (for hash keys etc.).
+        if ch == "'":
+            if i + 2 < n and source[i + 1] == "\\" and source[i + 3] == "'":
+                mapping = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                esc = source[i + 2]
+                if esc not in mapping:
+                    raise error(f"unsupported escape '\\{esc}'")
+                tokens.append(Token("int", str(mapping[esc]), line, col))
+                i += 4
+                col += 4
+                continue
+            if i + 2 < n and source[i + 2] == "'":
+                tokens.append(Token("int", str(ord(source[i + 1])), line, col))
+                i += 3
+                col += 3
+                continue
+            raise error("malformed character literal")
+        # Operators.
+        matched = False
+        for op in MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_OPS:
+            tokens.append(Token("op", ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,141 @@
+"""Semantic analysis: resolve types and build the module skeleton.
+
+The declaration pass turns struct/typedef declarations into IR
+:class:`~repro.ir.types.StructType` objects, registers globals and
+function signatures, and hands the :class:`TypeContext` to the lowering
+pass.  Doing declarations first lets function bodies call functions
+defined later in the file (the kernels are written naturally).
+"""
+
+from __future__ import annotations
+
+from ..errors import SemanticError
+from ..ir.module import Module
+from ..ir.types import (
+    F32,
+    F64,
+    I8,
+    I32,
+    VOID,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    Type,
+)
+from . import ast_nodes as ast
+
+BUILTIN_SCALARS: dict[str, Type] = {
+    "void": VOID,
+    "int": I32,
+    "char": I8,
+    "float": F32,
+    "double": F64,
+}
+
+
+class TypeContext:
+    """Maps syntactic :class:`~repro.frontend.ast_nodes.CTypeExpr` to IR types."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.typedefs: dict[str, StructType] = {}
+
+    def resolve(self, expr: ast.CTypeExpr) -> Type:
+        base = self._resolve_base(expr)
+        result: Type = base
+        for _ in range(expr.pointer_depth):
+            # void* is modelled as char* (i8*) so it has a GEP-able pointee.
+            if result.is_void:
+                result = I8
+            result = PointerType(result)
+        if result.is_void and expr.pointer_depth:
+            raise SemanticError(f"line {expr.line}: cannot form {expr}")
+        return result
+
+    def _resolve_base(self, expr: ast.CTypeExpr) -> Type:
+        base = expr.base
+        if base in BUILTIN_SCALARS:
+            return BUILTIN_SCALARS[base]
+        if base.startswith("struct:"):
+            return self.module.get_struct(base.split(":", 1)[1])
+        if base in self.typedefs:
+            return self.typedefs[base]
+        raise SemanticError(f"line {expr.line}: unknown type {expr}")
+
+
+def analyze(unit: ast.TranslationUnit, module_name: str = "module") -> tuple[Module, TypeContext]:
+    """Run the declaration pass; returns the module and type context.
+
+    Function bodies are *not* lowered here; :mod:`repro.frontend.lower`
+    does that with the returned context.
+    """
+    module = Module(module_name)
+    ctx = TypeContext(module)
+
+    # First sweep: struct tags and typedef names so member types resolve.
+    for decl in unit.decls:
+        if isinstance(decl, ast.StructDecl):
+            struct = module.get_struct(decl.tag)
+            if decl.typedef_name:
+                ctx.typedefs[decl.typedef_name] = struct
+
+    # Second sweep: struct bodies (fields may reference any declared tag).
+    for decl in unit.decls:
+        if isinstance(decl, ast.StructDecl):
+            struct = module.get_struct(decl.tag)
+            fields: list[tuple[str, Type]] = []
+            for f in decl.fields:
+                ftype = ctx.resolve(f.type)
+                if f.array_length is not None:
+                    ftype = ArrayType(ftype, f.array_length)
+                fields.append((f.name, ftype))
+            if struct.is_opaque:
+                struct.set_fields(fields)
+            else:
+                raise SemanticError(f"line {decl.line}: struct {decl.tag} redefined")
+
+    # Third sweep: globals and function signatures.
+    for decl in unit.decls:
+        if isinstance(decl, ast.GlobalDecl):
+            _declare_global(module, ctx, decl)
+        elif isinstance(decl, ast.FunctionDecl):
+            _declare_function(module, ctx, decl)
+
+    return module, ctx
+
+
+def _declare_global(module: Module, ctx: TypeContext, decl: ast.GlobalDecl) -> None:
+    vtype = ctx.resolve(decl.type)
+    if decl.array_length is not None:
+        vtype = ArrayType(vtype, decl.array_length)
+    init = None
+    if decl.init_values is not None:
+        scalar = vtype.element if isinstance(vtype, ArrayType) else vtype
+        count = vtype.count if isinstance(vtype, ArrayType) else 1
+        values = list(decl.init_values)
+        if len(values) > count:
+            raise SemanticError(
+                f"line {decl.line}: too many initializers for @{decl.name}"
+            )
+        values += [0] * (count - len(values))
+        cast = float if scalar.is_float else int
+        init = [cast(v) for v in values]
+    module.add_global(vtype, decl.name, init)
+
+
+def _declare_function(module: Module, ctx: TypeContext, decl: ast.FunctionDecl) -> None:
+    return_type = ctx.resolve(decl.return_type)
+    param_types = [ctx.resolve(p.type) for p in decl.params]
+    for p, t in zip(decl.params, param_types):
+        if t.is_void:
+            raise SemanticError(f"line {p.line}: parameter {p.name} has void type")
+    ftype = FunctionType(return_type, param_types)
+    if decl.name in module.functions:
+        existing = module.functions[decl.name]
+        if existing.function_type != ftype:
+            raise SemanticError(
+                f"line {decl.line}: conflicting declaration of {decl.name}"
+            )
+        return
+    module.new_function(decl.name, ftype, [p.name for p in decl.params])

@@ -1,0 +1,50 @@
+"""Experiment harness: backend runners, experiments, report formatting."""
+
+from .experiments import (
+    Fig4Data,
+    Table2Row,
+    Table3Row,
+    TradeoffRow,
+    alut_overhead_geomean,
+    energy_overhead_geomean,
+    figure4,
+    fifo_depth_ablation,
+    geomean,
+    memory_system_ablation,
+    miss_latency_ablation,
+    prefetch_ablation,
+    replication_policy_ablation,
+    run_all_kernels,
+    scalability,
+    table2,
+    table3,
+    tradeoff,
+)
+from .report import (
+    format_figure4,
+    format_scalability,
+    format_table2,
+    format_table3,
+    format_tradeoff,
+)
+from .sections import annotate_sections, format_sections, section_summary
+from .runner import (
+    DEFAULT_BACKENDS,
+    BackendResult,
+    KernelRun,
+    run_backend,
+    run_kernel,
+)
+
+__all__ = [
+    "run_kernel", "run_backend", "KernelRun", "BackendResult",
+    "DEFAULT_BACKENDS",
+    "run_all_kernels", "figure4", "table2", "table3", "tradeoff",
+    "scalability", "fifo_depth_ablation", "miss_latency_ablation",
+    "replication_policy_ablation", "memory_system_ablation",
+    "prefetch_ablation", "geomean",
+    "Fig4Data", "Table2Row", "Table3Row", "TradeoffRow",
+    "alut_overhead_geomean", "energy_overhead_geomean",
+    "format_figure4", "format_table2", "format_table3", "format_tradeoff",
+    "format_scalability",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                # everything (Table 2/3, Fig 4, tradeoff)
+    python -m repro.harness --kernel em3d  # one kernel, all backends
+    python -m repro.harness --scalability  # the Appendix B.1 worker sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..kernels import ALL_KERNELS, KERNELS_BY_NAME
+from .experiments import figure4, run_all_kernels, scalability, table2, table3, tradeoff
+from .report import (
+    format_figure4,
+    format_scalability,
+    format_table2,
+    format_table3,
+    format_tradeoff,
+)
+from .runner import run_kernel
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the requested experiment set."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the CGPA paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--kernel", choices=sorted(KERNELS_BY_NAME), default=None,
+        help="run a single kernel on all backends and print its metrics",
+    )
+    parser.add_argument(
+        "--scalability", action="store_true",
+        help="run the Appendix B.1 worker sweep (em3d)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel-stage worker count (paper default: 4)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.kernel:
+        spec = KERNELS_BY_NAME[args.kernel]
+        backends = ["mips", "legup", "cgpa-p1"]
+        if spec.supports_p2:
+            backends.append("cgpa-p2")
+        run = run_kernel(spec, tuple(backends), n_workers=args.workers)
+        mips = run.results["mips"].cycles
+        print(f"{spec.name} ({spec.domain}): {spec.description}")
+        for backend, result in run.results.items():
+            extra = f" partition={result.signature}" if result.signature else ""
+            print(f"  {backend:8s}: {result.cycles:8d} cycles "
+                  f"({mips / result.cycles:5.2f}x vs MIPS){extra}")
+        return 0
+
+    if args.scalability:
+        points = scalability(KERNELS_BY_NAME["em3d"], (1, 2, 4, 8))
+        print(format_scalability(points))
+        return 0
+
+    print("Simulating all five kernels on all backends "
+          "(this takes ~30 seconds)...\n")
+    runs = run_all_kernels(n_workers=args.workers)
+    print(format_table2(table2(runs)))
+    print()
+    print(format_figure4(figure4(runs)))
+    print()
+    print(format_table3(table3(runs)))
+    print()
+    print(format_tradeoff(tradeoff(runs)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Benchmark harness: run one kernel on every backend and collect metrics.
+
+Backends (the three data points of Section 4.2, plus the P2 variant):
+
+* ``mips``    — the soft-core cost model (:mod:`repro.hw.mips_core`);
+* ``legup``   — LegUp-style HLS: the unmodified kernel as one FSM worker;
+* ``cgpa-p1`` — the CGPA pipeline with the paper's default replication
+  heuristic;
+* ``cgpa-p2`` — replicable sections forced into the parallel workers
+  (only for kernels where Table 2 lists a P2 partition).
+
+Every backend consumes a bit-identical workload (built by the kernel's
+``setup`` under the functional interpreter) and is validated against the
+kernel's checksum function — the reproduction of the paper's statement
+that every generated design passed verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost import (
+    AreaReport,
+    PowerReport,
+    accelerator_area,
+    function_aluts,
+    power_report,
+    single_module_area,
+)
+from ..errors import CgpaError
+from ..frontend import compile_c
+from ..hw import AcceleratorSystem, DirectMappedCache, SimReport, run_on_mips
+from ..interp import Interpreter, Memory, to_unsigned
+from ..ir import I32
+from ..kernels import KARGS_GLOBAL, KernelSpec
+from ..pipeline import CompiledPipeline, ReplicationPolicy, cgpa_compile
+from ..transforms import optimize_module
+
+DEFAULT_BACKENDS = ("mips", "legup", "cgpa-p1")
+
+
+@dataclass
+class BackendResult:
+    """Metrics from one backend run of one kernel."""
+
+    backend: str
+    cycles: int
+    checksum: float
+    return_value: int | float | None
+    signature: str | None = None
+    area: AreaReport | None = None
+    power: PowerReport | None = None
+    sim: SimReport | None = None
+    mips_instructions: int | None = None
+
+    @property
+    def aluts(self) -> int | None:
+        return self.area.total_aluts if self.area else None
+
+    @property
+    def power_mw(self) -> float | None:
+        return self.power.power_mw if self.power else None
+
+    @property
+    def energy_uj(self) -> float | None:
+        return self.power.energy_uj if self.power else None
+
+
+@dataclass
+class KernelRun:
+    """All backend results for one kernel, cross-validated."""
+
+    spec: KernelSpec
+    results: dict[str, BackendResult] = field(default_factory=dict)
+
+    def speedup(self, backend: str, baseline: str = "mips") -> float:
+        return self.results[baseline].cycles / self.results[backend].cycles
+
+    def energy_efficiency(self, backend: str) -> float | None:
+        """Kernel work (thousands of dynamic IR ops) per microjoule."""
+        result = self.results[backend]
+        mips = self.results.get("mips")
+        if result.energy_uj is None or mips is None or not mips.mips_instructions:
+            return None
+        return (mips.mips_instructions / 1e3) / result.energy_uj
+
+    def validate(self) -> None:
+        checksums = {
+            name: result.checksum for name, result in self.results.items()
+        }
+        reference = next(iter(checksums.values()))
+        for name, value in checksums.items():
+            if not _close(value, reference):
+                raise CgpaError(
+                    f"{self.spec.name}: backend {name} checksum {value} != "
+                    f"{reference}"
+                )
+        returns = {
+            name: r.return_value
+            for name, r in self.results.items()
+            if r.return_value is not None
+        }
+        values = list(returns.values())
+        for name, value in returns.items():
+            if not _close(value, values[0]):
+                raise CgpaError(
+                    f"{self.spec.name}: backend {name} returned {value} != "
+                    f"{values[0]}"
+                )
+
+
+def _close(a, b, rel=1e-9) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        scale = max(abs(float(a)), abs(float(b)), 1.0)
+        return abs(float(a) - float(b)) <= rel * scale
+    return a == b
+
+
+def _setup_workload(module, spec: KernelSpec):
+    """Run the kernel's setup functionally; returns (memory, globals, args)."""
+    interp = Interpreter(module)
+    interp.call(spec.setup_function, list(spec.setup_args))
+    kargs_addr = interp.global_addresses[KARGS_GLOBAL]
+    args = [
+        to_unsigned(interp.memory.load(kargs_addr + 4 * i, I32), 32)
+        for i in range(spec.n_kernel_args)
+    ]
+    return interp.memory, interp.global_addresses, args
+
+
+def _checksum(module, memory, global_addresses, spec: KernelSpec) -> float:
+    interp = Interpreter(module, memory, global_addresses=global_addresses)
+    return interp.call(spec.check_function, [])
+
+
+def run_backend(
+    spec: KernelSpec,
+    backend: str,
+    n_workers: int = 4,
+    fifo_depth: int = 16,
+    cache_kwargs: dict | None = None,
+) -> BackendResult:
+    """Compile, simulate and score one kernel on one backend."""
+    cache_kwargs = dict(cache_kwargs or {})
+    if backend == "mips":
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        memory, globals_, args = _setup_workload(module, spec)
+        mips = run_on_mips(
+            module, spec.measure_entry, args, memory,
+            cache=DirectMappedCache(**cache_kwargs),
+            global_addresses=globals_,
+        )
+        checksum = _checksum(module, memory, globals_, spec)
+        return BackendResult(
+            backend="mips",
+            cycles=mips.cycles,
+            checksum=checksum,
+            return_value=mips.return_value,
+            mips_instructions=mips.instructions,
+        )
+
+    if backend == "legup":
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        memory, globals_, args = _setup_workload(module, spec)
+        cache_kwargs.setdefault("ports", 8)
+        system = AcceleratorSystem(
+            module, memory,
+            cache=DirectMappedCache(**cache_kwargs),
+            global_addresses=globals_,
+        )
+        sim = system.run(spec.measure_entry, args)
+        area = single_module_area(module.get_function(spec.measure_entry))
+        functions = list(module.functions.values())
+        power = power_report(sim, area, functions)
+        checksum = _checksum(module, memory, globals_, spec)
+        return BackendResult(
+            backend="legup",
+            cycles=sim.cycles,
+            checksum=checksum,
+            return_value=sim.return_value,
+            area=area,
+            power=power,
+            sim=sim,
+        )
+
+    if backend in ("cgpa-p1", "cgpa-p2", "cgpa-none"):
+        policy = {
+            "cgpa-p1": ReplicationPolicy.P1,
+            "cgpa-p2": ReplicationPolicy.P2,
+            "cgpa-none": ReplicationPolicy.NONE,
+        }[backend]
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        shapes = spec.shapes_for(module)
+        compiled = cgpa_compile(
+            module,
+            spec.accel_function,
+            shapes=shapes,
+            policy=policy,
+            n_workers=n_workers,
+            fifo_depth=fifo_depth,
+        )
+        memory, globals_, args = _setup_workload(compiled.module, spec)
+        cache_kwargs.setdefault("ports", 8)
+        system = AcceleratorSystem(
+            compiled.module,
+            memory,
+            channels=compiled.result.channels,
+            cache=DirectMappedCache(**cache_kwargs),
+            global_addresses=globals_,
+        )
+        sim = system.run(spec.measure_entry, args)
+        area = _cgpa_area(compiled)
+        functions = list(compiled.module.functions.values())
+        power = power_report(sim, area, functions)
+        checksum = _checksum(compiled.module, memory, globals_, spec)
+        return BackendResult(
+            backend=backend,
+            cycles=sim.cycles,
+            checksum=checksum,
+            return_value=sim.return_value,
+            signature=compiled.signature,
+            area=area,
+            power=power,
+            sim=sim,
+        )
+
+    raise CgpaError(f"unknown backend {backend!r}")
+
+
+def _cgpa_area(compiled: CompiledPipeline) -> AreaReport:
+    area = accelerator_area(
+        compiled.result.tasks,
+        [stage.n_workers for stage in compiled.spec.stages],
+        compiled.result.channels,
+    )
+    # The wrapper (the rewritten parent, possibly with callers above it)
+    # is hardware too — a small sequential module.
+    parent = compiled.result.parent
+    area.worker_aluts[f"{parent.name}(wrapper)"] = function_aluts(parent)
+    return area
+
+
+def run_kernel(
+    spec: KernelSpec,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    n_workers: int = 4,
+    fifo_depth: int = 16,
+    cache_kwargs: dict | None = None,
+    validate: bool = True,
+) -> KernelRun:
+    """Run one kernel on all requested backends and cross-validate."""
+    run = KernelRun(spec)
+    for backend in backends:
+        if backend == "cgpa-p2" and not spec.supports_p2:
+            continue
+        run.results[backend] = run_backend(
+            spec, backend, n_workers=n_workers, fifo_depth=fifo_depth,
+            cache_kwargs=cache_kwargs,
+        )
+    if validate:
+        run.validate()
+    return run

@@ -1,0 +1,80 @@
+"""Figure-1-style section annotation: label a loop's instructions R/P/S.
+
+The paper's Fig. 1(a) and appendix figures annotate source lines with the
+section kind CGPA assigns (Replicable / Parallel / Sequential).  This
+utility produces the same view for any compiled loop — per instruction and
+aggregated per basic block — which is the most useful debugging surface
+when adopting CGPA on new code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.pdg import ProgramDependenceGraph, SccClass
+from ..ir.printer import print_instruction
+
+
+@dataclass
+class SectionLine:
+    """One annotated instruction: its block, text and section kind."""
+
+    block: str
+    text: str
+    section: str  # 'P' | 'R' | 'S'
+    scc_index: int
+    replicated: bool
+
+
+def annotate_sections(pdg: ProgramDependenceGraph, spec=None) -> list[SectionLine]:
+    """Annotate every loop instruction with its classification.
+
+    With a ``PipelineSpec`` the *placement* is reported too: replicable
+    SCCs show whether the partitioner actually duplicated them.
+    """
+    lines: list[SectionLine] = []
+    letter = {
+        SccClass.PARALLEL: "P",
+        SccClass.REPLICABLE: "R",
+        SccClass.SEQUENTIAL: "S",
+    }
+    for block in pdg.loop.blocks:
+        for inst in block.instructions:
+            scc = pdg.scc_of(inst)
+            replicated = bool(spec and spec.is_replicated(inst))
+            lines.append(
+                SectionLine(
+                    block=block.short_name(),
+                    text=print_instruction(inst),
+                    section=letter[scc.classification],
+                    scc_index=scc.index,
+                    replicated=replicated,
+                )
+            )
+    return lines
+
+
+def format_sections(lines: list[SectionLine]) -> str:
+    """Render section annotations grouped by basic block."""
+
+    out = []
+    current_block = None
+    for line in lines:
+        if line.block != current_block:
+            out.append(f"{line.block}:")
+            current_block = line.block
+        marker = line.section + ("*" if line.replicated else " ")
+        out.append(f"  [{marker}] {line.text}")
+    out.append("")
+    out.append("[P] parallel   [R] replicable   [S] sequential   "
+               "* = duplicated into workers")
+    return "\n".join(out)
+
+
+def section_summary(lines: list[SectionLine]) -> dict[str, int]:
+    """Count instructions per section kind (P/R/S)."""
+
+    counts = {"P": 0, "R": 0, "S": 0}
+    for line in lines:
+        counts[line.section] += 1
+    return counts

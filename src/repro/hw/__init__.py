@@ -1,0 +1,15 @@
+"""Cycle-accurate hardware substrate: workers, FIFOs, cache, MIPS core."""
+
+from .cache import CacheStats, DirectMappedCache
+from .fifo import FifoBuffer, FifoStats
+from .mips_core import MipsResult, run_on_mips
+from .system import AcceleratorSystem, SimReport
+from .worker import HwWorker, WorkerStats
+
+__all__ = [
+    "DirectMappedCache", "CacheStats",
+    "FifoBuffer", "FifoStats",
+    "AcceleratorSystem", "SimReport",
+    "HwWorker", "WorkerStats",
+    "run_on_mips", "MipsResult",
+]

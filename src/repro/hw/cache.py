@@ -1,0 +1,132 @@
+"""Direct-mapped data-cache timing model with a ported crossbar.
+
+Geometry follows the paper's evaluation platform (Section 4.1): 512 lines,
+128-byte blocks, direct mapped, 8 ports into the accelerator.  The cache
+models *timing only* — data always comes from the shared functional
+:class:`~repro.interp.memory.Memory`, so a timing bug can never corrupt
+results, only cycle counts.
+
+Port arbitration: at most ``ports`` accesses may start per cycle (the
+request crossbar of Fig. 2); excess requests slip to following cycles.
+Misses additionally serialise on the single memory channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback/conflict counters for the cache model."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    port_conflicts: int = 0
+    prefetches: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class DirectMappedCache:
+    """Timing model of the shared D-cache plus its crossbar."""
+
+    def __init__(
+        self,
+        n_lines: int = 512,
+        block_size: int = 128,
+        ports: int = 8,
+        hit_latency: int = 2,
+        miss_penalty: int = 24,
+        next_line_prefetch: bool = False,
+    ) -> None:
+        """``next_line_prefetch`` models the prefetching extension the
+        paper leaves as future work (Appendix B.2): every demand miss also
+        fills the next sequential line in the shadow of the same memory
+        transaction.  Helps streaming accesses (arrays, image rows); does
+        nothing for pointer chasing."""
+        if n_lines & (n_lines - 1) or block_size & (block_size - 1):
+            raise ValueError("cache geometry must be powers of two")
+        self.n_lines = n_lines
+        self.block_size = block_size
+        self.ports = ports
+        self.hit_latency = hit_latency
+        self.miss_penalty = miss_penalty
+        self.next_line_prefetch = next_line_prefetch
+        self._tags: list[int | None] = [None] * n_lines
+        self._dirty: list[bool] = [False] * n_lines
+        self._port_usage: dict[int, int] = {}
+        self._memory_free_at = 0
+        self.stats = CacheStats()
+
+    def _index_and_tag(self, addr: int) -> tuple[int, int]:
+        block = addr // self.block_size
+        return block % self.n_lines, block // self.n_lines
+
+    def lookup(self, addr: int) -> bool:
+        """Would this access hit right now? (no state change)"""
+        index, tag = self._index_and_tag(addr)
+        return self._tags[index] == tag
+
+    def access(self, addr: int, is_write: bool, cycle: int) -> int:
+        """Perform an access starting no earlier than ``cycle``.
+
+        Returns the cycle at which the data (or write ack) is ready.
+        """
+        start = self._arbitrate(cycle)
+        index, tag = self._index_and_tag(addr)
+        if self._tags[index] == tag:
+            self.stats.hits += 1
+            ready = start + self.hit_latency
+        else:
+            self.stats.misses += 1
+            if self._tags[index] is not None and self._dirty[index]:
+                self.stats.writebacks += 1
+            service_start = max(start, self._memory_free_at)
+            ready = service_start + self.miss_penalty
+            self._memory_free_at = ready
+            self._tags[index] = tag
+            self._dirty[index] = False
+            if self.next_line_prefetch:
+                self._prefetch_line(addr + self.block_size)
+        if is_write:
+            self._dirty[index] = True
+        return ready
+
+    def _prefetch_line(self, addr: int) -> None:
+        """Fill a line in the shadow of an ongoing transaction (no demand
+        latency charged; a clean line may be displaced)."""
+        index, tag = self._index_and_tag(addr)
+        if self._tags[index] == tag:
+            return
+        if self._tags[index] is not None and self._dirty[index]:
+            return  # don't force a writeback for a speculative fill
+        self.stats.prefetches += 1
+        self._memory_free_at += self.miss_penalty // 2  # bus occupancy
+        self._tags[index] = tag
+        self._dirty[index] = False
+
+    def _arbitrate(self, cycle: int) -> int:
+        current = cycle
+        while self._port_usage.get(current, 0) >= self.ports:
+            current += 1
+            self.stats.port_conflicts += 1
+        self._port_usage[current] = self._port_usage.get(current, 0) + 1
+        # Garbage-collect old cycles occasionally to bound memory.
+        if len(self._port_usage) > 4096:
+            cutoff = current - 64
+            self._port_usage = {
+                c: n for c, n in self._port_usage.items() if c >= cutoff
+            }
+        return current
+
+    def reset_timing(self) -> None:
+        self._port_usage.clear()
+        self._memory_free_at = 0

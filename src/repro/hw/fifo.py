@@ -1,0 +1,82 @@
+"""Hardware FIFO buffers connecting pipeline stages (paper Fig. 2).
+
+One :class:`FifoBuffer` materialises one compiler
+:class:`~repro.ir.primitives.Channel`: ``n_channels`` independent queues
+(one per consumer worker), each ``depth`` entries deep.  Pushes to a full
+queue and pops from an empty queue stall the issuing FSM — the mechanism
+that lets the pipeline tolerate variable memory latency (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..ir.primitives import Channel
+
+
+@dataclass
+class FifoStats:
+    """Push/pop/stall counters for one FIFO buffer."""
+
+    pushes: int = 0
+    pops: int = 0
+    full_stall_cycles: int = 0
+    empty_stall_cycles: int = 0
+    max_occupancy: int = 0
+
+
+class FifoBuffer:
+    """Bounded multi-queue FIFO with stall accounting."""
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.queues: list[deque] = [deque() for _ in range(channel.n_channels)]
+        self.stats = FifoStats()
+
+    # -- capacity ----------------------------------------------------------------
+
+    def can_push(self, index: int) -> bool:
+        return len(self.queues[index]) < self.channel.depth
+
+    def can_push_broadcast(self) -> bool:
+        return all(len(q) < self.channel.depth for q in self.queues)
+
+    def can_pop(self, index: int) -> bool:
+        return bool(self.queues[index])
+
+    # -- data ---------------------------------------------------------------------
+
+    def push(self, index: int, value) -> None:
+        assert self.can_push(index), "push to full FIFO"
+        self.queues[index].append(value)
+        self.stats.pushes += 1
+        self.stats.max_occupancy = max(
+            self.stats.max_occupancy, len(self.queues[index])
+        )
+
+    def push_broadcast(self, value) -> None:
+        assert self.can_push_broadcast(), "broadcast to full FIFO"
+        for queue in self.queues:
+            queue.append(value)
+            self.stats.max_occupancy = max(self.stats.max_occupancy, len(queue))
+        self.stats.pushes += len(self.queues)
+
+    def pop(self, index: int):
+        assert self.can_pop(index), "pop from empty FIFO"
+        self.stats.pops += 1
+        return self.queues[index].popleft()
+
+    def occupancy(self, index: int) -> int:
+        return len(self.queues[index])
+
+    def reset(self) -> None:
+        """Flush all queues (accelerator start signal)."""
+        for queue in self.queues:
+            queue.clear()
+
+    #: BRAM bits occupied by this buffer (32-bit slots x depth x queues).
+    @property
+    def bram_bits(self) -> int:
+        slots = self.channel.fifo_slots_per_value
+        return 32 * slots * self.channel.depth * self.channel.n_channels

@@ -1,0 +1,197 @@
+"""The accelerator system: workers + FIFOs + shared cache + clock loop.
+
+Simulates the dashed box of the paper's Fig. 2.  The parent (wrapper)
+function runs as a hardware module too; ``parallel_fork`` brings worker
+modules out of reset, ``parallel_join`` waits for their finish signals and
+re-arms the FIFO buffers for the next invocation (relevant for kernels
+that invoke the accelerator once per outer-loop iteration, like the
+1D Gaussian blur rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..interp.interpreter import _place_globals
+from ..interp.memory import Memory
+from ..ir.function import Function
+from ..ir.instructions import ParallelFork
+from ..ir.module import Module
+from ..ir.primitives import Channel, ChannelPlan
+from ..rtl.schedule import FunctionSchedule, schedule_function
+from .cache import CacheStats, DirectMappedCache
+from .fifo import FifoBuffer
+from .worker import HwWorker, WorkerStats
+from ..pipeline.transform import TaskInfo
+
+
+@dataclass
+class SimReport:
+    """Outcome of one accelerator run."""
+
+    cycles: int
+    return_value: int | float | None
+    worker_stats: dict[str, WorkerStats]
+    cache_stats: CacheStats
+    fifo_stats: dict[str, object]
+    invocations: int
+
+    @property
+    def total_ops(self) -> int:
+        return sum(
+            sum(stats.ops_executed.values()) for stats in self.worker_stats.values()
+        )
+
+
+class AcceleratorSystem:
+    """Container wiring workers, FIFO buffers and the shared D-cache."""
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Memory,
+        channels: ChannelPlan | None = None,
+        cache: DirectMappedCache | None = None,
+        global_addresses: dict[str, int] | None = None,
+        max_cycles: int = 500_000_000,
+        private_caches: bool = False,
+    ) -> None:
+        """``private_caches`` models the memory-partitioning option of the
+        paper's Appendix B.1: each worker gets its own single-ported cache
+        slice instead of contending for the shared 8-port cache.  (Safe
+        because CGPA's partition keeps aliasing memory instructions in one
+        stage; data always comes from the shared functional memory.)"""
+        self.module = module
+        self.memory = memory
+        self.cache = cache if cache is not None else DirectMappedCache()
+        self.private_caches = private_caches
+        self._private_cache_pool: list[DirectMappedCache] = []
+        self.max_cycles = max_cycles
+        if global_addresses is not None:
+            self.global_addresses = global_addresses
+        else:
+            self.global_addresses = _place_globals(module, memory)
+        self._schedules: dict[int, FunctionSchedule] = {}
+        self._fifos: dict[int, FifoBuffer] = {}
+        if channels is not None:
+            for channel in channels:
+                self._fifos[id(channel)] = FifoBuffer(channel)
+        self.liveout_regs: dict[int, int | float] = {}
+        self._workers: list[HwWorker] = []
+        self._loop_groups: dict[int, list[HwWorker]] = {}
+        self.invocations = 0
+
+    # -- infrastructure ------------------------------------------------------------
+
+    def schedule_for(self, function: Function) -> FunctionSchedule:
+        key = id(function)
+        if key not in self._schedules:
+            self._schedules[key] = schedule_function(function)
+        return self._schedules[key]
+
+    def fifo_for(self, channel: Channel) -> FifoBuffer:
+        if id(channel) not in self._fifos:
+            self._fifos[id(channel)] = FifoBuffer(channel)
+        return self._fifos[id(channel)]
+
+    def cache_for_new_worker(self) -> DirectMappedCache:
+        """Cache slice for a newly created worker."""
+        if not self.private_caches:
+            return self.cache
+        # One single-ported slice per worker, each a quarter of the shared
+        # geometry (the BRAM budget is split, not multiplied).
+        slice_ = DirectMappedCache(
+            n_lines=max(self.cache.n_lines // 4, 16),
+            block_size=self.cache.block_size,
+            ports=1,
+            hit_latency=self.cache.hit_latency,
+            miss_penalty=self.cache.miss_penalty,
+        )
+        self._private_cache_pool.append(slice_)
+        return slice_
+
+    # -- fork / join ------------------------------------------------------------------
+
+    def fork_worker(
+        self, inst: ParallelFork, liveins: list[int | float], cycle: int
+    ) -> None:
+        info = inst.task.task_info
+        worker_id = inst.worker_id if inst.worker_id is not None else 0
+        args = list(liveins)
+        if isinstance(info, TaskInfo) and info.is_parallel:
+            args.append(worker_id)
+        name = f"{inst.task.name}#w{worker_id}"
+        worker = HwWorker(
+            name,
+            inst.task,
+            args,
+            self,
+            worker_id=worker_id,
+            start_cycle=cycle + 1,
+        )
+        worker.return_value = None
+        self._workers.append(worker)
+        self._loop_groups.setdefault(inst.loop_id, []).append(worker)
+
+    def join_ready(self, loop_id: int) -> bool:
+        return all(w.done for w in self._loop_groups.get(loop_id, []))
+
+    def finish_join(self, loop_id: int) -> None:
+        """Join completed: retire workers and re-arm FIFOs for reinvocation."""
+        self._loop_groups.pop(loop_id, None)
+        self.invocations += 1
+        for fifo in self._fifos.values():
+            fifo.reset()
+
+    def worker_finished(self, worker: HwWorker) -> None:
+        pass  # finish signal is polled via join_ready
+
+    # -- clock loop ----------------------------------------------------------------------
+
+    def run(self, entry: str | Function, args: list[int | float]) -> SimReport:
+        if isinstance(entry, str):
+            entry = self.module.get_function(entry)
+        main = HwWorker(f"{entry.name}#top", entry, args, self)
+        main.return_value = None
+        self._workers.append(main)
+
+        cycle = 0
+        last_progress = -1
+        while not main.done:
+            for worker in list(self._workers):
+                worker.tick(cycle)
+            cycle += 1
+            if cycle > self.max_cycles:
+                raise SimulationError(f"exceeded max_cycles={self.max_cycles}")
+            if cycle % 16384 == 0:
+                progress = sum(w.progress for w in self._workers)
+                if progress == last_progress:
+                    raise SimulationError(
+                        f"hardware deadlock at cycle {cycle}: no worker "
+                        f"progressed in 16k cycles"
+                    )
+                last_progress = progress
+
+        self._workers.remove(main)
+        worker_stats = {main.name: main.stats}
+        for worker in self._workers:
+            worker_stats[worker.name] = worker.stats
+        fifo_stats = {
+            f"buf{f.channel.channel_id}:{f.channel.name}": f.stats
+            for f in self._fifos.values()
+        }
+        report = SimReport(
+            cycles=cycle,
+            return_value=main.return_value,
+            worker_stats=worker_stats,
+            cache_stats=self.cache.stats,
+            fifo_stats=fifo_stats,
+            invocations=self.invocations,
+        )
+        self._workers = []
+        return report
+
+    @property
+    def fifos(self) -> dict[int, FifoBuffer]:
+        return self._fifos

@@ -1,0 +1,373 @@
+"""Cycle-accurate FSM worker: executes one scheduled task/function.
+
+Each worker is one grey box of the paper's Fig. 2: an independent control
+FSM with its own cache port and FIFO connections.  The worker advances at
+most one FSM state per cycle; memory operations stall it until the cache
+responds, FIFO operations stall on full/empty queues, and multi-cycle
+functional units occupy the states the scheduler reserved for them.
+
+Values are computed with the same semantics module the software
+interpreter uses (:mod:`repro.interp.ops`), so the hardware simulation is
+functionally exact and only timing is modelled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..interp.ops import eval_binop, eval_cast, eval_fcmp, eval_gep, eval_icmp
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Call,
+    Cast,
+    CondBranch,
+    Consume,
+    FCmp,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    ParallelFork,
+    ParallelJoin,
+    Phi,
+    Produce,
+    ProduceBroadcast,
+    Ret,
+    RetrieveLiveout,
+    Select,
+    Store,
+    StoreLiveout,
+)
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from ..rtl.schedule import FunctionSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import AcceleratorSystem
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker activity counters (feed the power model)."""
+
+    active_cycles: int = 0
+    idle_cycles: int = 0
+    mem_stall_cycles: int = 0
+    fifo_stall_cycles: int = 0
+    join_stall_cycles: int = 0
+    ops_executed: Counter = field(default_factory=Counter)
+    loads: int = 0
+    stores: int = 0
+    fifo_pushes: int = 0
+    fifo_pops: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.active_cycles
+            + self.mem_stall_cycles
+            + self.fifo_stall_cycles
+            + self.join_stall_cycles
+        )
+
+
+class _Frame:
+    __slots__ = (
+        "function", "schedule", "block", "state", "cursor",
+        "prev_block", "env", "call_inst", "state_ops",
+    )
+
+    def __init__(
+        self, function: Function, schedule: FunctionSchedule, call_inst=None
+    ) -> None:
+        self.function = function
+        self.schedule = schedule
+        self.block: BasicBlock = function.entry
+        self.state = 0
+        self.cursor = 0
+        self.prev_block: BasicBlock | None = None
+        self.env: dict[int, int | float] = {}
+        self.call_inst = call_inst
+        self.state_ops = schedule.block_schedule(self.block).states
+
+    def enter_block(self, block: BasicBlock) -> None:
+        self.prev_block = self.block
+        self.block = block
+        self.state = 0
+        self.cursor = 0
+        self.state_ops = self.schedule.block_schedule(block).states
+
+
+class HwWorker:
+    """One hardware worker executing a scheduled function."""
+
+    def __init__(
+        self,
+        name: str,
+        function: Function,
+        args: list[int | float],
+        system: "AcceleratorSystem",
+        worker_id: int = 0,
+        start_cycle: int = 0,
+    ) -> None:
+        self.name = name
+        self.system = system
+        self.worker_id = worker_id
+        self.start_cycle = start_cycle
+        self.stats = WorkerStats()
+        self.done = False
+        self._waiting_until = 0
+        self._pending_mem: tuple[Instruction, int] | None = None
+        #: The cache this worker's memory port talks to (shared, or a
+        #: private slice under the Appendix B.1 memory-partitioning mode).
+        self.cache = system.cache_for_new_worker()
+        schedule = system.schedule_for(function)
+        frame = _Frame(function, schedule)
+        if len(args) != len(function.args):
+            raise SimulationError(
+                f"worker {name}: expected {len(function.args)} args, got {len(args)}"
+            )
+        for formal, actual in zip(function.args, args):
+            frame.env[id(formal)] = actual
+        self._frames = [frame]
+        #: Monotonic progress marker for deadlock detection.
+        self.progress = 0
+
+    # -- value plumbing ---------------------------------------------------------
+
+    def _value(self, frame: _Frame, v: Value):
+        if isinstance(v, Constant):
+            return v.value
+        if isinstance(v, GlobalVariable):
+            return self.system.global_addresses[v.name]
+        try:
+            return frame.env[id(v)]
+        except KeyError:
+            raise SimulationError(
+                f"worker {self.name}: undefined value {v.short_name()} in "
+                f"@{frame.function.name}"
+            ) from None
+
+    # -- main clock edge ----------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        if self.done:
+            return
+        if cycle < self.start_cycle:
+            self.stats.idle_cycles += 1
+            return
+        if cycle < self._waiting_until:
+            self.stats.mem_stall_cycles += 1
+            return
+        if self._pending_mem is not None:
+            self._complete_memory()
+        frame = self._frames[-1]
+        ops = (
+            frame.state_ops[frame.state]
+            if frame.state < len(frame.state_ops)
+            else []
+        )
+        while frame.cursor < len(ops):
+            inst = ops[frame.cursor]
+            outcome = self._execute(frame, inst, cycle)
+            if outcome == "wait":
+                return
+            if outcome in ("call", "ret", "branch"):
+                self.stats.active_cycles += 1
+                self.progress += 1
+                return
+            frame.cursor += 1
+            self.progress += 1
+        # State complete: advance within the block (one state per cycle).
+        self.stats.active_cycles += 1
+        self.progress += 1
+        frame.state += 1
+        frame.cursor = 0
+        if frame.state >= len(frame.state_ops):
+            raise SimulationError(
+                f"worker {self.name}: fell off the end of block "
+                f"{frame.block.short_name()} (missing terminator?)"
+            )
+
+    def _complete_memory(self) -> None:
+        inst, addr = self._pending_mem  # type: ignore[misc]
+        frame = self._frames[-1]
+        if isinstance(inst, Load):
+            frame.env[id(inst)] = self.system.memory.load(addr, inst.type)
+        else:
+            assert isinstance(inst, Store)
+            self.system.memory.store(
+                addr, inst.value.type, self._value(frame, inst.value)
+            )
+        self._pending_mem = None
+        frame.cursor += 1
+        self.progress += 1
+
+    # -- instruction execution ------------------------------------------------------
+
+    def _execute(self, frame: _Frame, inst: Instruction, cycle: int) -> str:
+        self.stats.ops_executed[inst.opcode] += 1
+        if isinstance(inst, BinaryOp):
+            a = self._value(frame, inst.lhs)
+            b = self._value(frame, inst.rhs)
+            frame.env[id(inst)] = eval_binop(inst, a, b)
+            return "ok"
+        if isinstance(inst, ICmp):
+            frame.env[id(inst)] = eval_icmp(
+                inst, self._value(frame, inst.lhs), self._value(frame, inst.rhs)
+            )
+            return "ok"
+        if isinstance(inst, FCmp):
+            frame.env[id(inst)] = eval_fcmp(
+                inst, self._value(frame, inst.lhs), self._value(frame, inst.rhs)
+            )
+            return "ok"
+        if isinstance(inst, GEP):
+            base = self._value(frame, inst.base)
+            idx = [self._value(frame, i) for i in inst.indices]
+            frame.env[id(inst)] = eval_gep(inst, base, idx)
+            return "ok"
+        if isinstance(inst, Cast):
+            frame.env[id(inst)] = eval_cast(inst, self._value(frame, inst.value))
+            return "ok"
+        if isinstance(inst, Select):
+            c, t, f = (self._value(frame, op) for op in inst.operands)
+            frame.env[id(inst)] = t if c else f
+            return "ok"
+        if isinstance(inst, Load):
+            addr = int(self._value(frame, inst.pointer))
+            ready = self.cache.access(addr, False, cycle)
+            self.stats.ops_executed["load"] -= 1  # counted on completion
+            self.stats.loads += 1
+            self.stats.ops_executed["load"] += 1
+            self._pending_mem = (inst, addr)
+            self._waiting_until = ready
+            return "wait"
+        if isinstance(inst, Store):
+            addr = int(self._value(frame, inst.pointer))
+            ready = self.cache.access(addr, True, cycle)
+            self.stats.stores += 1
+            self._pending_mem = (inst, addr)
+            self._waiting_until = ready
+            return "wait"
+        if isinstance(inst, Produce):
+            fifo = self.system.fifo_for(inst.channel)
+            index = int(self._value(frame, inst.worker_select)) % inst.channel.n_channels
+            if not fifo.can_push(index):
+                fifo.stats.full_stall_cycles += 1
+                self.stats.fifo_stall_cycles += 1
+                self.stats.ops_executed[inst.opcode] -= 1
+                return "wait"
+            fifo.push(index, self._value(frame, inst.value))
+            self.stats.fifo_pushes += 1
+            return "ok"
+        if isinstance(inst, ProduceBroadcast):
+            fifo = self.system.fifo_for(inst.channel)
+            if not fifo.can_push_broadcast():
+                fifo.stats.full_stall_cycles += 1
+                self.stats.fifo_stall_cycles += 1
+                self.stats.ops_executed[inst.opcode] -= 1
+                return "wait"
+            fifo.push_broadcast(self._value(frame, inst.value))
+            self.stats.fifo_pushes += inst.channel.n_channels
+            return "ok"
+        if isinstance(inst, Consume):
+            fifo = self.system.fifo_for(inst.channel)
+            if inst.worker_select is not None:
+                index = int(self._value(frame, inst.worker_select)) % inst.channel.n_channels
+            else:
+                index = self.worker_id % inst.channel.n_channels
+            if not fifo.can_pop(index):
+                fifo.stats.empty_stall_cycles += 1
+                self.stats.fifo_stall_cycles += 1
+                self.stats.ops_executed[inst.opcode] -= 1
+                return "wait"
+            frame.env[id(inst)] = fifo.pop(index)
+            self.stats.fifo_pops += 1
+            return "ok"
+        if isinstance(inst, StoreLiveout):
+            self.system.liveout_regs[inst.liveout_id] = self._value(frame, inst.value)
+            return "ok"
+        if isinstance(inst, RetrieveLiveout):
+            if inst.liveout_id not in self.system.liveout_regs:
+                raise SimulationError(f"liveout #{inst.liveout_id} never stored")
+            frame.env[id(inst)] = self.system.liveout_regs[inst.liveout_id]
+            return "ok"
+        if isinstance(inst, ParallelFork):
+            liveins = [self._value(frame, v) for v in inst.liveins]
+            self.system.fork_worker(inst, liveins, cycle)
+            return "ok"
+        if isinstance(inst, ParallelJoin):
+            if not self.system.join_ready(inst.loop_id):
+                self.stats.join_stall_cycles += 1
+                self.stats.ops_executed[inst.opcode] -= 1
+                return "wait"
+            self.system.finish_join(inst.loop_id)
+            return "ok"
+        if isinstance(inst, Call):
+            if inst.callee.is_declaration:
+                return self._builtin_call(frame, inst)
+            callee_schedule = self.system.schedule_for(inst.callee)
+            new_frame = _Frame(inst.callee, callee_schedule, call_inst=inst)
+            for formal, actual in zip(inst.callee.args, inst.args):
+                new_frame.env[id(formal)] = self._value(frame, actual)
+            self._frames.append(new_frame)
+            return "call"
+        if isinstance(inst, Ret):
+            value = None if inst.value is None else self._value(frame, inst.value)
+            self._frames.pop()
+            if not self._frames:
+                self.done = True
+                self.system.worker_finished(self)
+                self.return_value = value
+                return "ret"
+            caller = self._frames[-1]
+            if value is not None:
+                caller.env[id(frame.call_inst)] = value
+            caller.cursor += 1
+            return "ret"
+        if isinstance(inst, Jump):
+            self._branch_to(frame, inst.target)
+            return "branch"
+        if isinstance(inst, CondBranch):
+            cond = self._value(frame, inst.cond)
+            self._branch_to(frame, inst.if_true if cond else inst.if_false)
+            return "branch"
+        if isinstance(inst, Alloca):
+            frame.env[id(inst)] = self.system.memory.alloc_object(
+                inst.allocated_type, site=-2
+            )
+            return "ok"
+        if isinstance(inst, Phi):
+            return "ok"  # phis are resolved on block entry
+        raise SimulationError(f"worker cannot execute opcode {inst.opcode}")
+
+    def _builtin_call(self, frame: _Frame, inst: Call) -> str:
+        from ..interp.interpreter import MALLOC_NAMES
+
+        if inst.callee.name in MALLOC_NAMES:
+            size = int(self._value(frame, inst.args[0]))
+            frame.env[id(inst)] = self.system.memory.malloc(size, site=-4)
+            return "ok"
+        raise SimulationError(f"call to undefined @{inst.callee.name} in hardware")
+
+    def _branch_to(self, frame: _Frame, target: BasicBlock) -> None:
+        # Evaluate the target's phis against the edge (atomically).
+        phis = target.phis()
+        values = [
+            self._value(frame, phi.incoming_for(frame.block)) for phi in phis
+        ]
+        frame.enter_block(target)
+        for phi, value in zip(phis, values):
+            frame.env[id(phi)] = value
+            self.stats.ops_executed["phi"] += 1
+        # Skip the phi ops at the head of state 0 (already applied).
+        ops0 = frame.state_ops[0] if frame.state_ops else []
+        while frame.cursor < len(ops0) and isinstance(ops0[frame.cursor], Phi):
+            frame.cursor += 1

@@ -1,0 +1,17 @@
+"""IR interpretation: memory image, stepping interpreter, profiler."""
+
+from .interpreter import (
+    MALLOC_NAMES,
+    ChannelIO,
+    Interpreter,
+    Status,
+    malloc_site_table,
+)
+from .memory import HEAP_BASE, Allocation, Memory, round_f32, to_unsigned, wrap_int
+from .profiler import Profile, profile_call
+
+__all__ = [
+    "Interpreter", "ChannelIO", "Status", "MALLOC_NAMES", "malloc_site_table",
+    "Memory", "Allocation", "HEAP_BASE", "wrap_int", "to_unsigned", "round_f32",
+    "Profile", "profile_call",
+]

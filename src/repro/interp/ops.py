@@ -1,0 +1,108 @@
+"""Pure operation semantics shared by the interpreter and the HW worker.
+
+Keeping one implementation of arithmetic/GEP/cast semantics guarantees the
+functional interpreter and the cycle-accurate FSM simulator can never
+disagree on values — only on timing.
+"""
+
+from __future__ import annotations
+
+from ..errors import InterpError
+from ..ir.instructions import (
+    FCMP_FUNCS,
+    FLOAT_BINOP_FUNCS,
+    ICMP_FUNCS,
+    INT_BINOP_FUNCS,
+    GEP,
+    BinaryOp,
+    Cast,
+    FCmp,
+    ICmp,
+)
+from ..ir.types import ArrayType, FloatType, StructType
+from .memory import round_f32, to_unsigned, wrap_int
+
+
+def eval_binop(inst: BinaryOp, a, b):
+    """Evaluate a binary operation with machine semantics."""
+
+    op = inst.opcode
+    if op in FLOAT_BINOP_FUNCS:
+        try:
+            result = FLOAT_BINOP_FUNCS[op](a, b)
+        except ZeroDivisionError:
+            raise InterpError("float division by zero") from None
+        if isinstance(inst.type, FloatType) and inst.type.bits == 32:
+            result = round_f32(result)
+        return result
+    bits = inst.type.bits  # type: ignore[union-attr]
+    if op in ("udiv", "urem", "lshr", "ult"):
+        a = to_unsigned(int(a), bits)
+        b = to_unsigned(int(b), bits)
+    try:
+        raw = INT_BINOP_FUNCS[op](int(a), int(b))
+    except ZeroDivisionError:
+        raise InterpError("integer division by zero") from None
+    return wrap_int(raw, bits)
+
+
+def eval_icmp(inst: ICmp, a, b) -> int:
+    """Evaluate an integer/pointer comparison to 0 or 1."""
+
+    if inst.pred.startswith("u") or inst.lhs.type.is_pointer:
+        bits = 32 if inst.lhs.type.is_pointer else inst.lhs.type.bits
+        a = to_unsigned(int(a), bits)
+        b = to_unsigned(int(b), bits)
+    return int(ICMP_FUNCS[inst.pred](a, b))
+
+
+def eval_fcmp(inst: FCmp, a, b) -> int:
+    """Evaluate a floating-point comparison to 0 or 1."""
+
+    return int(FCMP_FUNCS[inst.pred](a, b))
+
+
+def eval_gep(inst: GEP, base_addr: int, index_values: list) -> int:
+    """Compute a GEP address given the base and evaluated indices."""
+    pointee = inst.base.type.pointee  # type: ignore[union-attr]
+    addr = int(base_addr) + pointee.size() * int(index_values[0])
+    current = pointee
+    for idx_value, idx in zip(index_values[1:], inst.indices[1:]):
+        if isinstance(current, StructType):
+            field = int(idx_value)
+            addr += current.field_offset(field)
+            current = current.field_type(field)
+        elif isinstance(current, ArrayType):
+            addr += current.element.size() * int(idx_value)
+            current = current.element
+        else:
+            raise InterpError(f"gep through non-aggregate {current!r}")
+    return addr & 0xFFFFFFFF
+
+
+def eval_cast(inst: Cast, value):
+    """Evaluate a type conversion with machine semantics."""
+
+    op = inst.opcode
+    if op == "trunc":
+        return wrap_int(int(value), inst.type.bits)  # type: ignore[union-attr]
+    if op == "zext":
+        return to_unsigned(int(value), inst.value.type.bits)  # type: ignore[union-attr]
+    if op == "sext":
+        return int(value)
+    if op == "fptosi":
+        return wrap_int(int(value), inst.type.bits)  # type: ignore[union-attr]
+    if op == "sitofp":
+        result = float(value)
+        if isinstance(inst.type, FloatType) and inst.type.bits == 32:
+            result = round_f32(result)
+        return result
+    if op == "fpext":
+        return float(value)
+    if op == "fptrunc":
+        return round_f32(float(value))
+    if op in ("bitcast", "ptrtoint", "inttoptr"):
+        if inst.type.is_pointer or op == "ptrtoint":
+            return int(value) & 0xFFFFFFFF
+        return value
+    raise InterpError(f"cannot evaluate cast {op}")

@@ -1,0 +1,81 @@
+"""Execution profiling (the paper's "simple profiling step").
+
+The profile drives two things: hotspot identification (which loop to
+accelerate) and the pipeline partitioner's SCC weights (how many dynamic
+instructions each SCC accounts for).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from .interpreter import Interpreter
+from .memory import Memory
+
+
+@dataclass
+class Profile:
+    """Dynamic execution counts collected by one profiled run."""
+
+    inst_counts: Counter = field(default_factory=Counter)  # id(inst) -> count
+    block_counts: Counter = field(default_factory=Counter)  # id(block) -> count
+    edge_counts: Counter = field(default_factory=Counter)  # (id(b1), id(b2)) -> count
+    return_value: int | float | None = None
+
+    def count(self, inst: Instruction) -> int:
+        return self.inst_counts.get(id(inst), 0)
+
+    def block_count(self, block: BasicBlock) -> int:
+        return self.block_counts.get(id(block), 0)
+
+    def edge_count(self, src: BasicBlock, dst: BasicBlock) -> int:
+        return self.edge_counts.get((id(src), id(dst)), 0)
+
+    def total_instructions(self) -> int:
+        return sum(self.inst_counts.values())
+
+    def function_weight(self, function: Function) -> int:
+        """Dynamic instructions executed inside ``function``'s own blocks."""
+        return sum(self.count(inst) for inst in function.instructions())
+
+    def hottest_blocks(self, function: Function, top: int = 5) -> list[BasicBlock]:
+        blocks = sorted(
+            function.blocks, key=lambda b: self.block_count(b), reverse=True
+        )
+        return blocks[:top]
+
+
+def profile_call(
+    module: Module,
+    function_name: str,
+    args: list[int | float],
+    memory: Memory | None = None,
+    max_steps: int = 200_000_000,
+) -> Profile:
+    """Run ``function_name`` under the interpreter, collecting a profile."""
+    profile = Profile()
+
+    def on_execute(inst: Instruction) -> None:
+        profile.inst_counts[id(inst)] += 1
+
+    def on_edge(src: BasicBlock, dst: BasicBlock) -> None:
+        profile.edge_counts[(id(src), id(dst))] += 1
+        profile.block_counts[id(dst)] += 1
+
+    interp = Interpreter(
+        module,
+        memory,
+        max_steps=max_steps,
+        on_execute=on_execute,
+        on_edge=on_edge,
+    )
+    # Entry blocks are not reached via an edge; count the initial one.
+    entry = module.get_function(function_name).entry
+    profile.block_counts[id(entry)] += 1
+    profile.return_value = interp.call(function_name, args)
+    return profile

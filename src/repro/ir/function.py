@@ -1,0 +1,84 @@
+"""Functions: argument lists plus an ordered set of basic blocks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import IRError
+from .basicblock import BasicBlock
+from .instructions import Instruction
+from .types import FunctionType
+from .values import Argument, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import Module
+
+
+class Function(Value):
+    """A function definition (or declaration, if it has no blocks)."""
+
+    def __init__(
+        self,
+        name: str,
+        function_type: FunctionType,
+        param_names: list[str] | None = None,
+    ) -> None:
+        super().__init__(function_type, name)
+        self.function_type = function_type
+        self.module: "Module | None" = None
+        self.blocks: list[BasicBlock] = []
+        names = param_names or [f"arg{i}" for i in range(len(function_type.param_types))]
+        if len(names) != len(function_type.param_types):
+            raise IRError(f"{name}: wrong number of parameter names")
+        self.args: list[Argument] = [
+            Argument(t, n, i)
+            for i, (t, n) in enumerate(zip(function_type.param_types, names))
+        ]
+        #: Metadata slot used by the pipeline transform: stage/worker info
+        #: for generated task functions (None for ordinary functions).
+        self.task_info: object | None = None
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, block: BasicBlock, after: BasicBlock | None = None) -> BasicBlock:
+        block.parent = self
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def new_block(self, name: str = "", after: BasicBlock | None = None) -> BasicBlock:
+        return self.add_block(BasicBlock(self._unique_block_name(name)), after)
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def _unique_block_name(self, base: str) -> str:
+        base = base or "bb"
+        taken = {b.name for b in self.blocks}
+        if base not in taken:
+            return base
+        i = 1
+        while f"{base}.{i}" in taken:
+            i += 1
+        return f"{base}.{i}"
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def short_name(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<Function @{self.name} ({len(self.blocks)} blocks)>"

@@ -1,0 +1,57 @@
+"""Modules: the translation-unit container (functions, globals, structs)."""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .function import Function
+from .types import FunctionType, StructType, Type
+from .values import GlobalVariable
+
+
+class Module:
+    """A compiled translation unit."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+        self.structs: dict[str, StructType] = {}
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise IRError(f"duplicate function @{function.name}")
+        self.functions[function.name] = function
+        function.module = self
+        return function
+
+    def new_function(
+        self,
+        name: str,
+        function_type: FunctionType,
+        param_names: list[str] | None = None,
+    ) -> Function:
+        return self.add_function(Function(name, function_type, param_names))
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"no function @{name} in module {self.name}") from None
+
+    def add_global(self, value_type: Type, name: str, initializer=None) -> GlobalVariable:
+        if name in self.globals:
+            raise IRError(f"duplicate global @{name}")
+        g = GlobalVariable(value_type, name, initializer)
+        self.globals[name] = g
+        return g
+
+    def get_struct(self, name: str) -> StructType:
+        if name not in self.structs:
+            self.structs[name] = StructType(name)
+        return self.structs[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

@@ -1,0 +1,19 @@
+"""The five benchmark kernels of the paper's Table 2."""
+
+from .base import KARGS_GLOBAL, KernelSpec, PaperNumbers
+from .em3d import EM3D
+from .gaussblur import GAUSSBLUR
+from .hash_indexing import HASH_INDEXING
+from .kmeans import KMEANS
+from .ks import KS
+
+#: Table 2 order.
+ALL_KERNELS: list[KernelSpec] = [KMEANS, HASH_INDEXING, KS, EM3D, GAUSSBLUR]
+
+KERNELS_BY_NAME: dict[str, KernelSpec] = {k.name: k for k in ALL_KERNELS}
+
+__all__ = [
+    "KernelSpec", "PaperNumbers", "KARGS_GLOBAL",
+    "ALL_KERNELS", "KERNELS_BY_NAME",
+    "EM3D", "KMEANS", "HASH_INDEXING", "KS", "GAUSSBLUR",
+]

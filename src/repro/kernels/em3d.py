@@ -1,0 +1,129 @@
+"""em3d: electromagnetic wave propagation on a bipartite graph (Olden).
+
+The paper's motivating example (Fig. 1): the outer loop walks a linked
+list of E-nodes and updates each node's value from its H-node neighbours.
+Recursive data structure, irregular memory accesses, non-affine inner
+loop — CGPA's partition puts the traversal in a sequential stage (S-P,
+Table 2); P2 instead replicates the traversal into all workers.
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+typedef struct node {
+    double value;
+    int from_count;
+    struct node** from_nodes;
+    double* coeffs;
+    struct node* next;
+} node_t;
+
+void* malloc(int n);
+
+unsigned kargs[4];
+
+node_t* build_h_list(int n) {
+    node_t* head = 0;
+    for (int i = 0; i < n; i++) {
+        node_t* nh = (node_t*)malloc(sizeof(node_t));
+        nh->value = 0.001 * (rnd() % 1000);
+        nh->from_count = 0;
+        nh->from_nodes = 0;
+        nh->coeffs = 0;
+        nh->next = head;
+        head = nh;
+    }
+    return head;
+}
+
+node_t* build_e_list(int n, int degree, node_t* h_head, int n_h) {
+    node_t* head = 0;
+    for (int i = 0; i < n; i++) {
+        node_t* ne = (node_t*)malloc(sizeof(node_t));
+        ne->value = 0.001 * (rnd() % 1000);
+        ne->from_count = degree;
+        ne->from_nodes = (node_t**)malloc(degree * sizeof(node_t*));
+        ne->coeffs = (double*)malloc(degree * sizeof(double));
+        for (int j = 0; j < degree; j++) {
+            /* pick a pseudo-random H node by walking the list */
+            int steps = rnd() % n_h;
+            node_t* cursor = h_head;
+            for (int s = 0; s < steps; s++) {
+                cursor = cursor->next;
+                if (!cursor) cursor = h_head;
+            }
+            ne->from_nodes[j] = cursor;
+            ne->coeffs[j] = 0.001 * (rnd() % 2000) - 1.0;
+        }
+        ne->next = head;
+        head = ne;
+    }
+    return head;
+}
+
+void setup(int n_e, int n_h, int degree) {
+    node_t* h_head = build_h_list(n_h);
+    node_t* e_head = build_e_list(n_e, degree, h_head, n_h);
+    kargs[0] = (unsigned)e_head;
+}
+
+void kernel(node_t* nodelist) {
+    for ( ; nodelist; nodelist = nodelist->next) {
+        for (int i = 0; i < nodelist->from_count; i++) {
+            node_t* from = nodelist->from_nodes[i];
+            double coeff = nodelist->coeffs[i];
+            double value = from->value;
+            nodelist->value -= coeff * value;
+        }
+    }
+}
+
+double check(void) {
+    node_t* nodelist = (node_t*)kargs[0];
+    double sum = 0.0;
+    for ( ; nodelist; nodelist = nodelist->next)
+        sum += nodelist->value;
+    return sum;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(8, 8, 2);
+    kernel((node_t*)kargs[0]);
+}
+"""
+)
+
+EM3D = KernelSpec(
+    name="em3d",
+    domain="3D Simulation",
+    description=(
+        "updating value for each node in a linked-list by subtracting "
+        "weighted value in from_nodes"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[192, 128, 8],
+    n_kernel_args=1,
+    check_function="check",
+    expected_p1="S-P",
+    expected_p2="P",
+    paper=PaperNumbers(
+        speedup_legup=1.7,
+        speedup_cgpa=5.6,
+        legup_aluts=623,
+        cgpa_aluts=2842,
+        legup_power_mw=72,
+        cgpa_power_mw=292,
+        legup_energy_uj=1.66,
+        cgpa_energy_uj=2.24,
+        cgpa_p2_aluts=2624,
+        cgpa_p2_energy_uj=2.49,
+    ),
+)

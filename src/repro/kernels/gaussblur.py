@@ -1,0 +1,121 @@
+"""SIFT 1D row Gaussian blur (image processing).
+
+Appendix A.2's case study.  The accelerated loop is the inner
+moving-window loop after scalar replacement / pipeline vectorization: a
+5-tap weighted sum over shift registers.  CGPA identifies the induction
+variable (R1, lightweight -> replicated everywhere), the shift-register
+swaps (R2, lightweight -> replicated in the workers), and the new-pixel
+load (R3, heavyweight -> sequential stage that *broadcasts* the pixel to
+all four shift-register chains).  Pipeline shape: S-P; P2 instead
+replicates R3, making every worker fetch redundantly (shape P).
+
+The row loop stays in software structure (``kernel`` calls ``blur_row``
+once per row), so the accelerator is re-invoked per row exactly as a
+LegUp-embedded co-processor would be.
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+void* malloc(int n);
+
+unsigned kargs[4];
+
+double coef[5];
+
+void setup(int height, int width) {
+    /* Rows are padded by 8 doubles so img[j+5] never leaves the row. */
+    double* img = (double*)malloc(height * (width + 8) * sizeof(double));
+    double* inter = (double*)malloc(height * (width + 8) * sizeof(double));
+    for (int i = 0; i < height * (width + 8); i++) {
+        img[i] = 0.001 * (rnd() % 1000);
+        inter[i] = 0.0;
+    }
+    coef[0] = 0.0625; coef[1] = 0.25; coef[2] = 0.375;
+    coef[3] = 0.25;   coef[4] = 0.0625;
+    kargs[0] = (unsigned)img;
+    kargs[1] = (unsigned)inter;
+    kargs[2] = (unsigned)height;
+    kargs[3] = (unsigned)width;
+}
+
+void blur_row(double* img_row, double* out_row, int width) {
+    double img0 = img_row[0];
+    double img1 = img_row[1];
+    double img2 = img_row[2];
+    double img3 = img_row[3];
+    double img4 = img_row[4];
+    double c0 = coef[0];
+    double c1 = coef[1];
+    double c2 = coef[2];
+    double c3 = coef[3];
+    double c4 = coef[4];
+    for (int j = 0; j < width - 4; j++) {
+        out_row[j] = c0 * img0 + c1 * img1 + c2 * img2
+                   + c3 * img3 + c4 * img4;
+        img0 = img1;
+        img1 = img2;
+        img2 = img3;
+        img3 = img4;
+        img4 = img_row[j + 5];
+    }
+}
+
+void kernel(double* img, double* inter, int height, int width) {
+    for (int i = 0; i < height; i++) {
+        blur_row(img + i * (width + 8), inter + i * (width + 8), width);
+    }
+}
+
+double check(void) {
+    double* inter = (double*)kargs[1];
+    int height = (int)kargs[2];
+    int width = (int)kargs[3];
+    double sum = 0.0;
+    for (int i = 0; i < height; i++)
+        for (int j = 0; j < width - 4; j++)
+            sum += inter[i * (width + 8) + j] * ((i + j) % 5 + 1);
+    return sum;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(2, 16);
+    kernel((double*)kargs[0], (double*)kargs[1], (int)kargs[2], (int)kargs[3]);
+}
+"""
+)
+
+GAUSSBLUR = KernelSpec(
+    name="1D-Gaussblur",
+    domain="Image Processing",
+    description=(
+        "1D row Gaussian blurring; pipeline vectorization has been applied "
+        "to reduce memory access"
+    ),
+    source=SOURCE,
+    accel_function="blur_row",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[10, 96],
+    n_kernel_args=4,
+    check_function="check",
+    expected_p1="S-P",
+    expected_p2="P",
+    paper=PaperNumbers(
+        speedup_legup=2.1,
+        speedup_cgpa=7.3,
+        legup_aluts=1319,
+        cgpa_aluts=3806,
+        legup_power_mw=53,
+        cgpa_power_mw=183,
+        legup_energy_uj=1.27,
+        cgpa_energy_uj=1.35,
+        cgpa_p2_aluts=4168,
+        cgpa_p2_energy_uj=1.55,
+    ),
+)

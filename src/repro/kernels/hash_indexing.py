@@ -1,0 +1,117 @@
+"""Hash-indexing: build a hash index over a stream of records (database).
+
+Modelled on the index-walker workload the paper cites (Kocberber et al.,
+"Meet the Walkers", MICRO 2013): for every record in the input linked
+list, compute a hash key (a multi-round integer mixer — the *parallel*
+section) and insert the record at the head of its bucket chain (the
+*sequential* section, a data-dependent read-modify-write of the bucket
+table).  The input-list traversal is the heavyweight replicable section.
+Pipeline shape: S-P-S (Table 2).
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+typedef struct item {
+    int key;
+    int hash;
+    struct item* next;
+    struct item* hnext;
+} item_t;
+
+void* malloc(int n);
+
+unsigned kargs[4];
+
+void setup(int nitems, int nbuckets) {
+    item_t* head = 0;
+    for (int i = 0; i < nitems; i++) {
+        item_t* it = (item_t*)malloc(sizeof(item_t));
+        it->key = rnd() * 7919 + i;
+        it->hash = 0;
+        it->next = head;
+        it->hnext = 0;
+        head = it;
+    }
+    item_t** buckets = (item_t**)malloc(nbuckets * sizeof(item_t*));
+    for (int b = 0; b < nbuckets; b++)
+        buckets[b] = 0;
+    kargs[0] = (unsigned)head;
+    kargs[1] = (unsigned)buckets;
+    kargs[2] = (unsigned)nbuckets;
+}
+
+void kernel(item_t* items, item_t** buckets, int nbuckets) {
+    for ( ; items; items = items->next) {
+        /* parallel section: a few rounds of integer mixing */
+        int h = items->key;
+        h = h ^ (h >> 16);
+        h = h * 0x045d9f3b;
+        h = h ^ (h >> 13);
+        h = h * 0x045d9f3b;
+        h = h ^ (h >> 16);
+        h = h * 0x2545f491;
+        h = h ^ (h >> 11);
+        if (h < 0)
+            h = -h;
+        h = h % nbuckets;
+        items->hash = h;
+        /* sequential section: insert at the head of the bucket chain */
+        item_t* head = buckets[h];
+        items->hnext = head;
+        buckets[h] = items;
+    }
+}
+
+double check(void) {
+    item_t** buckets = (item_t**)kargs[1];
+    int nbuckets = (int)kargs[2];
+    double sum = 0.0;
+    for (int b = 0; b < nbuckets; b++) {
+        int depth = 0;
+        for (item_t* it = buckets[b]; it; it = it->hnext) {
+            depth++;
+            sum += (double)(it->key % 1009) + 0.25 * depth + b;
+        }
+    }
+    return sum;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(8, 4);
+    kernel((item_t*)kargs[0], (item_t**)kargs[1], (int)kargs[2]);
+}
+"""
+)
+
+HASH_INDEXING = KernelSpec(
+    name="Hash-indexing",
+    domain="Database",
+    description=(
+        "computing hash key for each node and indexing it in a linked-list"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[512, 64],
+    n_kernel_args=3,
+    check_function="check",
+    expected_p1="S-P-S",
+    expected_p2=None,
+    paper=PaperNumbers(
+        speedup_legup=1.9,
+        speedup_cgpa=6.2,
+        legup_aluts=421,
+        cgpa_aluts=2052,
+        legup_power_mw=47,
+        cgpa_power_mw=150,
+        legup_energy_uj=12.1,
+        cgpa_energy_uj=14.6,
+    ),
+)

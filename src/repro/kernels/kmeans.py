@@ -1,0 +1,140 @@
+"""K-means: cluster-membership assignment (Rodinia).
+
+Appendix A.1's case study: the loop over data points calls
+``findNearestPoint`` (a pure distance computation — the *parallel*
+section), then updates ``membership``, ``new_centers`` and the counters
+(the *sequential* section).  The induction variable is the lightweight
+*replicable* section, duplicated into every worker.  Pipeline shape: P-S
+(Table 2), with the parallel stage first — cluster indices flow through a
+4-channel FIFO into the sequential updater, consumed round-robin.
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+void* malloc(int n);
+
+unsigned kargs[8];
+
+double dist2(double* a, double* b, int nfeatures) {
+    double s = 0.0;
+    for (int f = 0; f < nfeatures; f++) {
+        double d = a[f] - b[f];
+        s += d * d;
+    }
+    return s;
+}
+
+int findNearestPoint(double* point, int nfeatures, double* clusters, int nclusters) {
+    int index = 0;
+    double best = dist2(point, clusters, nfeatures);
+    for (int c = 1; c < nclusters; c++) {
+        double d = dist2(point, clusters + c * nfeatures, nfeatures);
+        if (d < best) {
+            best = d;
+            index = c;
+        }
+    }
+    return index;
+}
+
+void setup(int npoints, int nclusters, int nfeatures) {
+    double* nodes = (double*)malloc(npoints * nfeatures * sizeof(double));
+    double* clusters = (double*)malloc(nclusters * nfeatures * sizeof(double));
+    int* membership = (int*)malloc(npoints * sizeof(int));
+    double* new_centers = (double*)malloc(nclusters * nfeatures * sizeof(double));
+    int* new_centers_len = (int*)malloc(nclusters * sizeof(int));
+    for (int i = 0; i < npoints * nfeatures; i++)
+        nodes[i] = 0.001 * (rnd() % 1000);
+    for (int c = 0; c < nclusters * nfeatures; c++)
+        clusters[c] = 0.001 * (rnd() % 1000);
+    for (int i = 0; i < npoints; i++)
+        membership[i] = -1;
+    for (int c = 0; c < nclusters * nfeatures; c++)
+        new_centers[c] = 0.0;
+    for (int c = 0; c < nclusters; c++)
+        new_centers_len[c] = 0;
+    kargs[0] = (unsigned)nodes;
+    kargs[1] = (unsigned)clusters;
+    kargs[2] = (unsigned)membership;
+    kargs[3] = (unsigned)new_centers;
+    kargs[4] = (unsigned)new_centers_len;
+    kargs[5] = (unsigned)npoints;
+    kargs[6] = (unsigned)nclusters;
+    kargs[7] = (unsigned)nfeatures;
+}
+
+int kernel(double* nodes, double* clusters, int* membership,
+           double* new_centers, int* new_centers_len,
+           int npoints, int nclusters, int nfeatures) {
+    int delta = 0;
+    for (int i = 0; i < npoints; i++) {
+        int index = findNearestPoint(nodes + i * nfeatures, nfeatures,
+                                     clusters, nclusters);
+        if (membership[i] != index)
+            delta += 1;
+        membership[i] = index;
+        new_centers_len[index] += 1;
+        for (int j = 0; j < nfeatures; j++)
+            new_centers[index * nfeatures + j] += nodes[i * nfeatures + j];
+    }
+    return delta;
+}
+
+double check(void) {
+    int* membership = (int*)kargs[2];
+    double* new_centers = (double*)kargs[3];
+    int* new_centers_len = (int*)kargs[4];
+    int npoints = (int)kargs[5];
+    int nclusters = (int)kargs[6];
+    int nfeatures = (int)kargs[7];
+    double sum = 0.0;
+    for (int i = 0; i < npoints; i++)
+        sum += membership[i] * (i % 7 + 1);
+    for (int c = 0; c < nclusters * nfeatures; c++)
+        sum += new_centers[c];
+    for (int c = 0; c < nclusters; c++)
+        sum += new_centers_len[c];
+    return sum;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(8, 2, 4);
+    kernel((double*)kargs[0], (double*)kargs[1], (int*)kargs[2],
+           (double*)kargs[3], (int*)kargs[4],
+           (int)kargs[5], (int)kargs[6], (int)kargs[7]);
+}
+"""
+)
+
+KMEANS = KernelSpec(
+    name="K-means",
+    domain="Machine Learning",
+    description=(
+        "finding the nearest cluster for each node and updating its position"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[96, 5, 8],
+    n_kernel_args=8,
+    check_function="check",
+    expected_p1="P-S",
+    expected_p2=None,  # Table 2: replicated data-level parallelism N/A
+    paper=PaperNumbers(
+        speedup_legup=1.6,
+        speedup_cgpa=5.0,
+        legup_aluts=1696,
+        cgpa_aluts=7197,
+        legup_power_mw=46,
+        cgpa_power_mw=162,
+        legup_energy_uj=22.1,
+        cgpa_energy_uj=22.9,
+    ),
+)

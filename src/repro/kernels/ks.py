@@ -1,0 +1,118 @@
+"""ks: Kernighan-Schweikert style graph-partition gain search.
+
+Table 2: "traversing doubly-nested linked-lists to find a max grain of
+swapping".  The outer loop walks the A-partition vertex list (heavyweight
+replicable traversal -> sequential stage 1); for each A vertex an inner
+loop walks the entire B-partition list computing the swap gain against
+the edge-weight matrix (the *parallel* section); the running maximum is a
+sequential reduction (stage 3).  Pipeline shape: S-P-S.
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+typedef struct vert {
+    double d;       /* external - internal cost of this vertex */
+    int id;
+    struct vert* next;
+} vert_t;
+
+void* malloc(int n);
+
+unsigned kargs[8];
+
+vert_t* build_list(int n, int base_id) {
+    vert_t* head = 0;
+    for (int i = 0; i < n; i++) {
+        vert_t* v = (vert_t*)malloc(sizeof(vert_t));
+        v->d = 0.01 * (rnd() % 500) - 2.5;
+        v->id = base_id + i;
+        v->next = head;
+        head = v;
+    }
+    return head;
+}
+
+void setup(int na, int nb) {
+    vert_t* alist = build_list(na, 0);
+    vert_t* blist = build_list(nb, 0);
+    double* w = (double*)malloc(na * nb * sizeof(double));
+    for (int i = 0; i < na * nb; i++)
+        w[i] = 0.001 * (rnd() % 1000);
+    kargs[0] = (unsigned)alist;
+    kargs[1] = (unsigned)blist;
+    kargs[2] = (unsigned)w;
+    kargs[3] = (unsigned)nb;
+}
+
+double kernel(vert_t* alist, vert_t* blist, double* w, int nb) {
+    double best = -1.0e30;
+    for (vert_t* a = alist; a; a = a->next) {
+        double bestb = -1.0e30;
+        for (vert_t* b = blist; b; b = b->next) {
+            double gain = a->d + b->d - 2.0 * w[a->id * nb + b->id];
+            if (gain > bestb)
+                bestb = gain;
+        }
+        if (bestb > best)
+            best = bestb;
+    }
+    return best;
+}
+
+double check(void) {
+    /* Independent recomputation of the best gain (no call to kernel,
+       which the CGPA backend rewrites into a hardware invocation). */
+    vert_t* alist = (vert_t*)kargs[0];
+    vert_t* blist = (vert_t*)kargs[1];
+    double* w = (double*)kargs[2];
+    int nb = (int)kargs[3];
+    double best = -1.0e30;
+    for (vert_t* a = alist; a; a = a->next) {
+        for (vert_t* b = blist; b; b = b->next) {
+            double gain = a->d + b->d - 2.0 * w[a->id * nb + b->id];
+            if (gain > best)
+                best = gain;
+        }
+    }
+    return best;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(4, 4);
+    kernel((vert_t*)kargs[0], (vert_t*)kargs[1], (double*)kargs[2], (int)kargs[3]);
+}
+"""
+)
+
+KS = KernelSpec(
+    name="ks",
+    domain="Graph Partition",
+    description=(
+        "traversing doubly-nested linked-lists to find a max grain of swapping"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[40, 40],
+    n_kernel_args=4,
+    check_function="check",
+    expected_p1="S-P-S",
+    expected_p2=None,
+    paper=PaperNumbers(
+        speedup_legup=2.0,
+        speedup_cgpa=6.5,
+        legup_aluts=1371,
+        cgpa_aluts=5741,
+        legup_power_mw=60,
+        cgpa_power_mw=233,
+        legup_energy_uj=104.5,
+        cgpa_energy_uj=131.7,
+    ),
+)

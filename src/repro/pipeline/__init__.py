@@ -1,0 +1,26 @@
+"""Pipeline partitioning and transformation (the CGPA core)."""
+
+from .cosim import FunctionalForkHandler, run_transformed
+from .driver import CompiledPipeline, cgpa_compile, cgpa_compile_all
+from .partition import partition_loop
+from .spec import (
+    DEFAULT_PARALLEL_WORKERS,
+    PipelineSpec,
+    ReplicationPolicy,
+    StageKind,
+    StageSpec,
+)
+from .transform import (
+    ChannelBinding,
+    TaskInfo,
+    TransformResult,
+    transform_loop,
+)
+
+__all__ = [
+    "partition_loop", "transform_loop", "cgpa_compile", "cgpa_compile_all",
+    "CompiledPipeline", "TransformResult", "TaskInfo", "ChannelBinding",
+    "FunctionalForkHandler", "run_transformed",
+    "PipelineSpec", "StageSpec", "StageKind", "ReplicationPolicy",
+    "DEFAULT_PARALLEL_WORKERS",
+]

@@ -1,0 +1,106 @@
+"""Functional co-simulation of transformed pipelines.
+
+Runs the transformed parent under the interpreter; ``parallel_fork``
+registers one task interpreter per worker and ``parallel_join`` drives
+them round-robin over unbounded in-order channels until every task
+finishes.  No timing is modelled — this layer answers only "does the
+pipelined program compute exactly what the sequential one did?", which is
+the property the paper's generated testbenches assert.
+
+The cycle-accurate hardware model lives in :mod:`repro.hw`; both layers
+share the task functions and channel plan, so functional equivalence here
+validates the transform for the hardware simulation as well.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..interp.interpreter import ChannelIO, Interpreter, Status
+from ..interp.memory import Memory
+from ..ir.instructions import ParallelFork
+from ..ir.module import Module
+from .transform import TaskInfo
+
+
+class FunctionalForkHandler:
+    """Executes forked tasks at join time (cooperative round-robin)."""
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Memory,
+        global_addresses: dict[str, int],
+        channel_io: ChannelIO | None = None,
+    ) -> None:
+        self.module = module
+        self.memory = memory
+        self.global_addresses = global_addresses
+        self.channel_io = channel_io if channel_io is not None else ChannelIO()
+        self._pending: dict[int, list[Interpreter]] = {}
+        #: Total interpreter steps spent inside tasks (for rough stats).
+        self.task_steps = 0
+
+    def fork(self, inst: ParallelFork, livein_values: list[int | float]) -> None:
+        info = inst.task.task_info
+        worker_id = inst.worker_id if inst.worker_id is not None else 0
+        args = list(livein_values)
+        if isinstance(info, TaskInfo) and info.is_parallel:
+            args.append(worker_id)
+        machine = Interpreter(
+            self.module,
+            self.memory,
+            channel_io=self.channel_io,
+            worker_id=worker_id,
+            global_addresses=self.global_addresses,
+        )
+        machine.start(inst.task, args)
+        self._pending.setdefault(inst.loop_id, []).append(machine)
+
+    def join(self, loop_id: int) -> None:
+        machines = self._pending.pop(loop_id, [])
+        while True:
+            progressed = False
+            done = 0
+            for machine in machines:
+                if machine.done:
+                    done += 1
+                    continue
+                executed = 0
+                status = machine.step()
+                while status is Status.RUNNING:
+                    executed += 1
+                    status = machine.step()
+                if status is Status.DONE:
+                    done += 1
+                    executed += 1
+                self.task_steps += machine.steps
+                machine.steps = 0
+                if executed:
+                    progressed = True
+            if done == len(machines):
+                return
+            if not progressed:
+                raise SimulationError(
+                    f"pipeline deadlock: {len(machines) - done} task(s) "
+                    f"blocked on empty channels"
+                )
+
+
+def run_transformed(
+    module: Module,
+    entry: str,
+    args: list[int | float],
+    memory: Memory | None = None,
+):
+    """Run a transformed module functionally; returns (result, memory, handler)."""
+    memory = memory if memory is not None else Memory()
+    # The parent shares the channel IO so retrieve_liveout sees the task
+    # workers' store_liveout registers.
+    channel_io = ChannelIO()
+    parent = Interpreter(module, memory, channel_io=channel_io)
+    handler = FunctionalForkHandler(
+        module, memory, parent.global_addresses, channel_io
+    )
+    parent.fork_handler = handler
+    result = parent.call(entry, args)
+    return result, memory, handler

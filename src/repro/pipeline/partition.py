@@ -1,0 +1,328 @@
+"""Pipeline partitioning: assign PDG SCCs to pipeline stages.
+
+Adapted from PS-DSWP (Raman et al.) exactly as the paper describes: the
+partitioner finds the maximal parallel stage, places the remaining SCCs
+into a sequential stage before and/or after it, and decides for every
+*replicable* SCC whether to duplicate it into the workers (lightweight —
+no load or multiply) or give it a sequential stage of its own (heavyweight)
+— Section 3.3, "Pipeline Partition".
+
+Legality rules enforced here:
+
+1. All dependence edges flow forward through the stage order (the SCC
+   condensation is a DAG, so a consistent order exists unless the parallel
+   stage sits on a cycle with a sequential SCC — resolved by demoting
+   parallel SCCs).
+2. No loop-carried dependence connects two *distinct, non-replicated*
+   members of the parallel stage (different iterations run on different
+   workers concurrently).  Carried edges into replicated sections are
+   legal only from other replicated sections or from sequential stages
+   (delivered by broadcast).
+"""
+
+from __future__ import annotations
+
+from ..errors import PartitionError
+from ..analysis.pdg import ProgramDependenceGraph, SccClass, SccInfo
+from .spec import (
+    DEFAULT_PARALLEL_WORKERS,
+    PipelineSpec,
+    ReplicationPolicy,
+    StageKind,
+    StageSpec,
+)
+
+
+def partition_loop(
+    pdg: ProgramDependenceGraph,
+    n_workers: int = DEFAULT_PARALLEL_WORKERS,
+    policy: ReplicationPolicy = ReplicationPolicy.P1,
+) -> PipelineSpec:
+    """Partition ``pdg``'s loop into an (S-)P(-S) pipeline."""
+    partitioner = _Partitioner(pdg, n_workers, policy)
+    return partitioner.run()
+
+
+class _Partitioner:
+    def __init__(
+        self,
+        pdg: ProgramDependenceGraph,
+        n_workers: int,
+        policy: ReplicationPolicy,
+    ) -> None:
+        self.pdg = pdg
+        self.n_workers = n_workers
+        self.policy = policy
+        self.sccs = pdg.sccs
+        # Mutable working sets of SCC indices.
+        self.parallel: set[int] = set()
+        self.replicated: set[int] = set()
+        self.forced_sequential: set[int] = set()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _scc(self, index: int) -> SccInfo:
+        return self.sccs[index]
+
+    def _may_replicate(self, scc: SccInfo) -> bool:
+        if scc.has_side_effects:
+            return False
+        if self.policy is ReplicationPolicy.NONE:
+            return False
+        if self.policy is ReplicationPolicy.P2:
+            return True
+        return scc.is_lightweight
+
+    def _edges(self) -> dict[tuple[int, int], bool]:
+        return self.pdg.condensation.edges
+
+    def _successor_map(self) -> dict[int, list[int]]:
+        succ: dict[int, list[int]] = {}
+        for (s, d) in self._edges():
+            succ.setdefault(s, []).append(d)
+        return succ
+
+    def _reachable_from(self, sources: set[int]) -> set[int]:
+        succ = self._successor_map()
+        seen = set(sources)
+        work = list(sources)
+        while work:
+            node = work.pop()
+            for nxt in succ.get(node, []):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        return seen
+
+    def _reaches(self, targets: set[int]) -> set[int]:
+        pred: dict[int, list[int]] = {}
+        for (s, d) in self._edges():
+            pred.setdefault(d, []).append(s)
+        seen = set(targets)
+        work = list(targets)
+        while work:
+            node = work.pop()
+            for nxt in pred.get(node, []):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
+        return seen
+
+    # -- main ------------------------------------------------------------------------
+
+    def run(self) -> PipelineSpec:
+        self.parallel = {
+            scc.index for scc in self.sccs if scc.classification is SccClass.PARALLEL
+        }
+        self.replicated = {
+            scc.index
+            for scc in self.sccs
+            if scc.classification is SccClass.REPLICABLE and self._may_replicate(scc)
+        }
+        self._repair()
+        return self._form_stages()
+
+    def _repair(self) -> None:
+        """Iterate legality fixes until a consistent partition remains."""
+        for _ in range(len(self.sccs) * 4 + 8):
+            if self._fix_carried_within_parallel():
+                continue
+            if self._fix_replicated_inputs():
+                continue
+            if self._fix_ordering_conflicts():
+                continue
+            return
+        raise PartitionError("partition repair did not converge")
+
+    def _replicable_closure(self, seed: int) -> set[int] | None:
+        """SCCs that must be replicated together with ``seed``.
+
+        Replicated code runs every iteration in every worker, so all of
+        its inputs coming from the parallel stage must be replicated too
+        (transitively).  Returns None when any member of the closure
+        cannot be replicated — replication of the seed is then hopeless
+        and the caller should fall back to sequential placement.
+        """
+        closure: set[int] = set()
+        work = [seed]
+        while work:
+            current = work.pop()
+            if current in closure:
+                continue
+            if not self._may_replicate(self._scc(current)):
+                return None
+            closure.add(current)
+            for (a, b) in self._edges():
+                if b == current and a in self.parallel and a not in closure:
+                    work.append(a)
+        return closure
+
+    def _fix_carried_within_parallel(self) -> bool:
+        """Rule 2: carried edges between distinct parallel-stage members."""
+        for edge in self.pdg.edges:
+            if not edge.carried:
+                continue
+            src_scc = self.pdg.scc_of(edge.src)
+            dst_scc = self.pdg.scc_of(edge.dst)
+            if src_scc.index == dst_scc.index:
+                continue
+            if src_scc.index in self.parallel and dst_scc.index in self.parallel:
+                # The destination carries state across iterations; it must
+                # be replicated (every worker recomputes it each iteration)
+                # or leave the parallel stage.
+                closure = self._replicable_closure(dst_scc.index)
+                if closure is not None:
+                    self.parallel -= closure
+                    self.replicated |= closure
+                else:
+                    self.parallel.discard(dst_scc.index)
+                    self.forced_sequential.add(dst_scc.index)
+                return True
+        return False
+
+    def _fix_replicated_inputs(self) -> bool:
+        """Replicated code needs every input every iteration in every
+        worker; a value computed by a non-replicated parallel SCC exists
+        only on one worker per iteration.
+
+        Three resolutions, in preference order:
+
+        1. replicate the source too (it is lightweight / P2 allows it);
+        2. demote the source into a sequential stage that *broadcasts* its
+           value — the paper's 1D-Gaussblur shape, where the heavyweight
+           image load (R3) feeds the replicated shift registers (R2) from
+           stage 1 — chosen when the source is a small share of the
+           parallel stage and nothing else in the stage feeds it;
+        3. give up replicating the destination (the ks shape: the max
+           reduction fed by the heavyweight gain computation becomes a
+           sequential stage of its own).
+        """
+        for (s, d) in list(self._edges()):
+            if d in self.replicated and s in self.parallel:
+                closure = self._replicable_closure(s)
+                if closure is not None:
+                    self.parallel -= closure
+                    self.replicated |= closure
+                elif self._demotable_source(s):
+                    self.parallel.discard(s)
+                    self.forced_sequential.add(s)
+                else:
+                    self.replicated.discard(d)
+                    self.forced_sequential.add(d)
+                return True
+        return False
+
+    def _demotable_source(self, s: int) -> bool:
+        """Is moving SCC ``s`` into a sequential stage cheaper than losing
+        the replication of its consumer?"""
+        parallel_weight = sum(self._scc(i).weight for i in self.parallel)
+        if self._scc(s).weight > 0.3 * parallel_weight:
+            return False
+        # Demotion positions s before the parallel stage; anything in the
+        # parallel stage feeding s would then flow backwards.
+        other_parallel = self.parallel - {s}
+        return s not in self._reachable_from(other_parallel)
+
+    def _fix_ordering_conflicts(self) -> bool:
+        """Rule 1: a sequential SCC that both feeds and consumes the
+        parallel stage would need to be before and after it at once."""
+        others = {
+            scc.index
+            for scc in self.sccs
+            if scc.index not in self.parallel and scc.index not in self.replicated
+        }
+        if not others or not self.parallel:
+            return False
+        reaches_p = self._reaches(set(self.parallel))
+        from_p = self._reachable_from(set(self.parallel))
+        for u in sorted(others):
+            if u in reaches_p and u in from_p and u not in self.parallel:
+                # Demote the lighter flank of the parallel stage.
+                ancestors = self._reaches({u}) & self.parallel
+                descendants = self._reachable_from({u}) & self.parallel
+                flank = min(
+                    (ancestors, descendants),
+                    key=lambda s: sum(self._scc(i).weight for i in s),
+                )
+                if not flank:
+                    flank = ancestors or descendants
+                if not flank:
+                    raise PartitionError(
+                        "ordering conflict with no demotable parallel SCC"
+                    )
+                for index in flank:
+                    self.parallel.discard(index)
+                    self.forced_sequential.add(index)
+                return True
+        return False
+
+    def _form_stages(self) -> PipelineSpec:
+        others = [
+            scc
+            for scc in self.sccs
+            if scc.index not in self.parallel and scc.index not in self.replicated
+        ]
+        if not self.parallel:
+            # Degenerate: no parallel stage at all — one sequential stage.
+            stage = StageSpec(0, StageKind.SEQUENTIAL, 1, list(self.sccs))
+            return PipelineSpec(
+                loop=self.pdg.loop,
+                pdg=self.pdg,
+                stages=[stage],
+                replicated=[],
+                policy=self.policy,
+            )
+
+        reaches_p = self._reaches(set(self.parallel))
+        from_p = self._reachable_from(set(self.parallel))
+        before: list[SccInfo] = []
+        after: list[SccInfo] = []
+        for scc in others:
+            if scc.index in reaches_p:
+                before.append(scc)
+            elif scc.index in from_p:
+                after.append(scc)
+            else:
+                before.append(scc)  # disconnected: run it in the front stage
+
+        self._check_stage_order(before, after)
+
+        stages: list[StageSpec] = []
+        if before:
+            stages.append(
+                StageSpec(len(stages), StageKind.SEQUENTIAL, 1, _in_topo(self, before))
+            )
+        parallel_sccs = [self._scc(i) for i in sorted(self.parallel)]
+        stages.append(
+            StageSpec(len(stages), StageKind.PARALLEL, self.n_workers, parallel_sccs)
+        )
+        if after:
+            stages.append(
+                StageSpec(len(stages), StageKind.SEQUENTIAL, 1, _in_topo(self, after))
+            )
+        return PipelineSpec(
+            loop=self.pdg.loop,
+            pdg=self.pdg,
+            stages=stages,
+            replicated=[self._scc(i) for i in sorted(self.replicated)],
+            policy=self.policy,
+        )
+
+    def _check_stage_order(self, before: list[SccInfo], after: list[SccInfo]) -> None:
+        before_ids = {s.index for s in before}
+        after_ids = {s.index for s in after}
+        for (s, d) in self._edges():
+            if s in after_ids and (d in before_ids or d in self.parallel):
+                raise PartitionError(
+                    f"dependence from stage-3 SCC {s} back to SCC {d}"
+                )
+            if s in self.parallel and d in before_ids:
+                raise PartitionError(
+                    f"dependence from parallel SCC {s} back to stage-1 SCC {d}"
+                )
+
+
+def _in_topo(partitioner: _Partitioner, sccs: list[SccInfo]) -> list[SccInfo]:
+    order = partitioner.pdg.condensation.topological_order()
+    position = {index: i for i, index in enumerate(order)}
+    return sorted(sccs, key=lambda s: position[s.index])

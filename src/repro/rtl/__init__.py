@@ -1,0 +1,12 @@
+"""RTL backend: FSM scheduling, Verilog and testbench emission."""
+
+from .resources import OpCost, cost_of, is_blocking, is_fifo_op, is_memory_op
+from .schedule import BlockSchedule, FunctionSchedule, schedule_function
+from .testbench import generate_testbench
+from .verilog import generate_verilog, support_library
+
+__all__ = [
+    "OpCost", "cost_of", "is_blocking", "is_memory_op", "is_fifo_op",
+    "FunctionSchedule", "BlockSchedule", "schedule_function",
+    "generate_verilog", "support_library", "generate_testbench",
+]

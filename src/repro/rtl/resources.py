@@ -1,0 +1,181 @@
+"""Operation timing, area and energy tables for the Stratix-IV-class target.
+
+Latencies are in cycles at the paper's 200 MHz synthesis target; ALUT
+counts approximate Quartus II mapping results for 32-bit operators (FP
+operators use the Altera megafunction core latencies).  Energy numbers are
+per-operation dynamic energies in picojoules, used by the activity-based
+power model; they are calibration constants, not measurements — the cost
+model's purpose is reproducing Table 3's *shape* (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Call,
+    Cast,
+    CondBranch,
+    Consume,
+    FCmp,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    ParallelFork,
+    ParallelJoin,
+    Phi,
+    Produce,
+    ProduceBroadcast,
+    Ret,
+    RetrieveLiveout,
+    Select,
+    Store,
+    StoreLiveout,
+)
+from ..ir.types import FloatType
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of one operation instance."""
+
+    latency: int  # cycles from issue to result
+    aluts: int  # combinational ALUTs consumed by the datapath unit
+    energy_pj: float  # dynamic energy per execution
+    blocking: bool = False  # may stall the FSM (memory / FIFO)
+
+
+#: Costs per integer/logic binary opcode (32-bit operands).
+_INT_BINOP_COSTS: dict[str, OpCost] = {
+    "add": OpCost(1, 32, 1.0),
+    "sub": OpCost(1, 32, 1.0),
+    "mul": OpCost(2, 112, 4.0),
+    "sdiv": OpCost(16, 360, 24.0),
+    "udiv": OpCost(16, 360, 24.0),
+    "srem": OpCost(16, 360, 24.0),
+    "urem": OpCost(16, 360, 24.0),
+    "and": OpCost(1, 16, 0.5),
+    "or": OpCost(1, 16, 0.5),
+    "xor": OpCost(1, 16, 0.5),
+    "shl": OpCost(1, 48, 1.0),
+    "ashr": OpCost(1, 48, 1.0),
+    "lshr": OpCost(1, 48, 1.0),
+}
+
+#: FP operator cores (single precision; doubles cost ~1.8x area).
+_FLOAT_BINOP_COSTS: dict[str, OpCost] = {
+    "fadd": OpCost(7, 540, 12.0),
+    "fsub": OpCost(7, 540, 12.0),
+    "fmul": OpCost(5, 260, 14.0),
+    "fdiv": OpCost(20, 900, 40.0),
+}
+
+_DOUBLE_AREA_FACTOR = 1.8
+
+LOAD_COST = OpCost(2, 40, 8.0, blocking=True)  # hit path; misses stall
+STORE_COST = OpCost(1, 30, 8.0, blocking=True)
+GEP_COST = OpCost(1, 36, 1.2)
+ICMP_COST = OpCost(1, 24, 0.8)
+FCMP_COST = OpCost(2, 120, 4.0)
+SELECT_COST = OpCost(1, 32, 0.8)
+PHI_COST = OpCost(0, 18, 0.4)  # input mux into the register
+CAST_INT_COST = OpCost(0, 0, 0.0)  # wiring
+CAST_FP_COST = OpCost(4, 200, 6.0)  # int<->fp conversion cores
+BRANCH_COST = OpCost(1, 12, 0.6)
+RET_COST = OpCost(1, 4, 0.2)
+PRODUCE_COST = OpCost(1, 28, 2.0, blocking=True)
+CONSUME_COST = OpCost(1, 28, 2.0, blocking=True)
+LIVEOUT_COST = OpCost(1, 20, 0.8)
+FORK_COST = OpCost(1, 24, 1.0)
+JOIN_COST = OpCost(1, 12, 0.5, blocking=True)
+CALL_COST = OpCost(1, 20, 1.0)  # handshake into the callee sub-module
+ALLOCA_COST = OpCost(1, 8, 0.4)
+
+#: Overheads not tied to single ops.
+FSM_BASE_ALUTS = 60  # state register + next-state logic per worker
+FIFO_ALUTS_PER_CHANNEL = 48  # control logic; storage is BRAM (tracked apart)
+ARBITER_ALUTS_PER_PORT = 35  # request/response crossbar slice
+
+#: Static (leakage + clock tree) power per ALUT, in microwatts.
+STATIC_UW_PER_ALUT = 4.0
+#: FIFO push/pop energy (BRAM access), pJ.
+FIFO_ACCESS_PJ = 2.5
+#: Cache access energies, pJ.
+CACHE_HIT_PJ = 18.0
+CACHE_MISS_PJ = 180.0
+
+
+def cost_of(inst: Instruction) -> OpCost:
+    """Timing/area/energy cost of one IR instruction."""
+    if isinstance(inst, BinaryOp):
+        if inst.opcode in _FLOAT_BINOP_COSTS:
+            cost = _FLOAT_BINOP_COSTS[inst.opcode]
+            if isinstance(inst.type, FloatType) and inst.type.bits == 64:
+                return OpCost(
+                    cost.latency + 2,
+                    int(cost.aluts * _DOUBLE_AREA_FACTOR),
+                    cost.energy_pj * _DOUBLE_AREA_FACTOR,
+                )
+            return cost
+        return _INT_BINOP_COSTS[inst.opcode]
+    if isinstance(inst, Load):
+        return LOAD_COST
+    if isinstance(inst, Store):
+        return STORE_COST
+    if isinstance(inst, GEP):
+        return GEP_COST
+    if isinstance(inst, ICmp):
+        return ICMP_COST
+    if isinstance(inst, FCmp):
+        return FCMP_COST
+    if isinstance(inst, Select):
+        return SELECT_COST
+    if isinstance(inst, Phi):
+        return PHI_COST
+    if isinstance(inst, Cast):
+        if inst.opcode in ("sitofp", "fptosi", "fpext", "fptrunc"):
+            return CAST_FP_COST
+        return CAST_INT_COST
+    if isinstance(inst, (Jump, CondBranch)):
+        return BRANCH_COST
+    if isinstance(inst, Ret):
+        return RET_COST
+    if isinstance(inst, Produce):
+        return PRODUCE_COST
+    if isinstance(inst, ProduceBroadcast):
+        return PRODUCE_COST
+    if isinstance(inst, Consume):
+        return CONSUME_COST
+    if isinstance(inst, (StoreLiveout, RetrieveLiveout)):
+        return LIVEOUT_COST
+    if isinstance(inst, ParallelFork):
+        return FORK_COST
+    if isinstance(inst, ParallelJoin):
+        return JOIN_COST
+    if isinstance(inst, Call):
+        return CALL_COST
+    if isinstance(inst, Alloca):
+        return ALLOCA_COST
+    return OpCost(1, 16, 1.0)
+
+
+def is_blocking(inst: Instruction) -> bool:
+    """True when the op may stall the FSM (memory / FIFO / join)."""
+
+    return cost_of(inst).blocking
+
+
+def is_memory_op(inst: Instruction) -> bool:
+    """True for loads and stores."""
+
+    return isinstance(inst, (Load, Store))
+
+
+def is_fifo_op(inst: Instruction) -> bool:
+    """True for produce/produce_broadcast/consume."""
+
+    return isinstance(inst, (Produce, ProduceBroadcast, Consume))

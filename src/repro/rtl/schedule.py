@@ -1,0 +1,199 @@
+"""FSM scheduling: assign every instruction a state (cycle) in its block.
+
+The scheduler mirrors the backend of Section 3.4: each basic block becomes
+a run of FSM states; instructions are placed ASAP subject to data
+dependences, one-memory-port serialization, and the paper's four
+scheduling constraints for the new primitives:
+
+(1) ``parallel_fork`` ops of the same loop share one state (all workers
+    launch in the same cycle);
+(2) forks of *different* loops are at least one state apart;
+(3) produce/consume never share a state with a memory operation (both can
+    stall, and sharing would double-push/pop on replays);
+(4) ``store_liveout`` is co-scheduled with the block's terminator (live-out
+    registers latch only when the loop exits).
+
+Blocking operations (memory, FIFO, call, join) each get a dedicated state
+in program order; non-blocking ops may share states freely (spatial HLS
+hardware instantiates one functional unit per op, so intra-state ILP is
+bounded by dependences, not unit counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Call,
+    Instruction,
+    ParallelFork,
+    Phi,
+    StoreLiveout,
+)
+from .resources import cost_of, is_blocking
+
+
+@dataclass
+class BlockSchedule:
+    """States of one basic block: ``states[i]`` = ops issued in state i."""
+
+    block: BasicBlock
+    state_of: dict[int, int] = field(default_factory=dict)  # id(inst) -> state
+    n_states: int = 1
+
+    def ops_in_state(self, state: int) -> list[Instruction]:
+        return [
+            inst
+            for inst in self.block.instructions
+            if self.state_of.get(id(inst), -1) == state
+        ]
+
+    @property
+    def states(self) -> list[list[Instruction]]:
+        table: list[list[Instruction]] = [[] for _ in range(self.n_states)]
+        for inst in self.block.instructions:
+            table[self.state_of[id(inst)]].append(inst)
+        return table
+
+
+@dataclass
+class FunctionSchedule:
+    """Complete FSM schedule of one function (a worker module)."""
+
+    function: Function
+    blocks: dict[int, BlockSchedule] = field(default_factory=dict)
+
+    def block_schedule(self, block: BasicBlock) -> BlockSchedule:
+        return self.blocks[id(block)]
+
+    @property
+    def total_states(self) -> int:
+        return sum(bs.n_states for bs in self.blocks.values())
+
+    def state_of(self, inst: Instruction) -> int:
+        assert inst.parent is not None
+        return self.blocks[id(inst.parent)].state_of[id(inst)]
+
+
+def schedule_function(function: Function) -> FunctionSchedule:
+    """Schedule every block of ``function`` into FSM states."""
+    schedule = FunctionSchedule(function)
+    for block in function.blocks:
+        schedule.blocks[id(block)] = _schedule_block(block)
+    _check_constraints(schedule)
+    return schedule
+
+
+def _schedule_block(block: BasicBlock) -> BlockSchedule:
+    bs = BlockSchedule(block)
+    state_of = bs.state_of
+    local_defs = {id(inst) for inst in block.instructions}
+    last_blocking_state = -1
+    fork_states: dict[int, int] = {}  # loop_id -> state (constraint 1)
+    liveouts: list[StoreLiveout] = []
+    # Last state any op is still busy in (an op at state s with latency L
+    # occupies states [s, s+L-1]; a latency-0 op finishes within s).
+    last_busy = 0
+
+    for inst in block.instructions:
+        if isinstance(inst, Phi):
+            # Phis are register muxes resolved on block entry: state 0.
+            state_of[id(inst)] = 0
+            continue
+        if isinstance(inst, StoreLiveout):
+            liveouts.append(inst)  # placed with the terminator (4)
+            continue
+        ready = 0
+        for op in inst.operands:
+            if isinstance(op, Instruction) and id(op) in local_defs:
+                if id(op) not in state_of:
+                    continue  # forward ref (only via phis; handled above)
+                ready = max(ready, state_of[id(op)] + cost_of(op).latency)
+        if isinstance(inst, ParallelFork):
+            if inst.loop_id in fork_states:
+                state = fork_states[inst.loop_id]
+                if ready > state:
+                    raise ScheduleError(
+                        "fork operands not ready at the common fork state"
+                    )
+            else:
+                state = max(ready, last_blocking_state + 1)
+                fork_states[inst.loop_id] = state
+                last_blocking_state = state
+        elif is_blocking(inst) or isinstance(inst, Call):
+            # One potentially-stalling op per state, in program order
+            # (also enforces constraint 3 and memory-port serialization).
+            state = max(ready, last_blocking_state + 1)
+            last_blocking_state = state
+        elif inst.has_side_effects and not inst.is_terminator:
+            # Hardware-state readers/writers (retrieve_liveout etc.) keep
+            # program order relative to stalling ops: a retrieve scheduled
+            # before the join would read stale live-out registers.
+            state = max(ready, last_blocking_state)
+        elif inst.is_terminator:
+            # The branch fires once every register write has retired.
+            state = max(ready, last_busy)
+        else:
+            state = ready
+        state_of[id(inst)] = state
+        latency = cost_of(inst).latency
+        last_busy = max(last_busy, state + max(latency - 1, 0))
+
+    terminator = block.terminator
+    term_state = state_of.get(id(terminator), last_busy) if terminator else last_busy
+    for lo in liveouts:
+        state_of[id(lo)] = term_state  # constraint (4)
+    bs.n_states = max(term_state + 1, last_busy + 1, 1)
+    return bs
+
+
+def _check_constraints(schedule: FunctionSchedule) -> None:
+    """Assert the paper's constraints hold on the final schedule."""
+    from .resources import is_fifo_op, is_memory_op
+
+    for bs in schedule.blocks.values():
+        by_state: dict[int, list[Instruction]] = {}
+        for inst in bs.block.instructions:
+            by_state.setdefault(bs.state_of[id(inst)], []).append(inst)
+        for state, ops in by_state.items():
+            fifo = [o for o in ops if is_fifo_op(o)]
+            mem = [o for o in ops if is_memory_op(o)]
+            if fifo and mem:
+                raise ScheduleError(
+                    f"constraint 3 violated in {bs.block.short_name()} "
+                    f"state {state}: FIFO op shares a state with memory op"
+                )
+            if len(fifo) + len(mem) > 1:
+                raise ScheduleError(
+                    f"multiple stalling ops in one state "
+                    f"({bs.block.short_name()} state {state})"
+                )
+            forks = [o for o in ops if isinstance(o, ParallelFork)]
+            loop_ids = {f.loop_id for f in forks}
+            if len(loop_ids) > 1:
+                raise ScheduleError("constraint 2 violated: forks of two loops share a state")
+        # Constraint 1: forks of one loop share a single state.
+        fork_states: dict[int, set[int]] = {}
+        for inst in bs.block.instructions:
+            if isinstance(inst, ParallelFork):
+                fork_states.setdefault(inst.loop_id, set()).add(
+                    bs.state_of[id(inst)]
+                )
+        for loop_id, states in fork_states.items():
+            if len(states) != 1:
+                raise ScheduleError(
+                    f"constraint 1 violated: loop {loop_id} forks span "
+                    f"states {sorted(states)}"
+                )
+        # Constraint 4: store_liveout with the terminator.
+        term = bs.block.terminator
+        if term is None:
+            continue
+        term_state = bs.state_of[id(term)]
+        for inst in bs.block.instructions:
+            if isinstance(inst, StoreLiveout):
+                if bs.state_of[id(inst)] != term_state:
+                    raise ScheduleError("constraint 4 violated")

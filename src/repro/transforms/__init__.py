@@ -1,0 +1,12 @@
+"""Scalar IR transforms: SSA construction, folding, DCE, CFG cleanup."""
+
+from .constfold import fold_constants
+from .dce import eliminate_dead_code
+from .mem2reg import promote_allocas
+from .pipeline import optimize_function, optimize_module
+from .simplify_cfg import simplify_cfg
+
+__all__ = [
+    "promote_allocas", "eliminate_dead_code", "fold_constants",
+    "simplify_cfg", "optimize_function", "optimize_module",
+]

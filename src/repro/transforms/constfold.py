@@ -1,0 +1,146 @@
+"""Constant folding and algebraic simplification.
+
+Shares its arithmetic semantics with the interpreter
+(:data:`repro.ir.instructions.INT_BINOP_FUNCS` etc.) so folding can never
+change observable behaviour.
+"""
+
+from __future__ import annotations
+
+from ..interp.memory import round_f32, to_unsigned, wrap_int
+from ..ir.function import Function
+from ..ir.instructions import (
+    FCMP_FUNCS,
+    FLOAT_BINOP_FUNCS,
+    ICMP_FUNCS,
+    INT_BINOP_FUNCS,
+    BinaryOp,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Select,
+)
+from ..ir.types import FloatType, IntType
+from ..ir.values import Constant, Value
+
+
+def fold_constants(function: Function) -> int:
+    """Fold instructions whose operands are constants; returns fold count."""
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                replacement = _fold(inst)
+                if replacement is not None:
+                    inst.replace_all_uses_with(replacement)
+                    if not inst.users:
+                        inst.erase()
+                    folded += 1
+                    changed = True
+    return folded
+
+
+def _fold(inst: Instruction) -> Value | None:
+    if isinstance(inst, BinaryOp):
+        return _fold_binop(inst)
+    if isinstance(inst, ICmp) and _both_const(inst):
+        a, b = (op.value for op in inst.operands)
+        if inst.pred.startswith("u"):
+            bits = inst.operands[0].type.bits  # type: ignore[union-attr]
+            a, b = to_unsigned(int(a), bits), to_unsigned(int(b), bits)
+        return Constant(inst.type, int(ICMP_FUNCS[inst.pred](a, b)))
+    if isinstance(inst, FCmp) and _both_const(inst):
+        a, b = (op.value for op in inst.operands)
+        return Constant(inst.type, int(FCMP_FUNCS[inst.pred](a, b)))
+    if isinstance(inst, Cast) and isinstance(inst.value, Constant):
+        return _fold_cast(inst)
+    if isinstance(inst, Select) and isinstance(inst.operands[0], Constant):
+        return inst.operands[1] if inst.operands[0].value else inst.operands[2]
+    return None
+
+
+def _both_const(inst: Instruction) -> bool:
+    return all(isinstance(op, Constant) for op in inst.operands)
+
+
+def _fold_binop(inst: BinaryOp) -> Value | None:
+    lhs, rhs = inst.lhs, inst.rhs
+    op = inst.opcode
+    if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+        if op in FLOAT_BINOP_FUNCS:
+            if op == "fdiv" and rhs.value == 0.0:
+                return None
+            result = FLOAT_BINOP_FUNCS[op](lhs.value, rhs.value)
+            if isinstance(inst.type, FloatType) and inst.type.bits == 32:
+                result = round_f32(result)
+            return Constant(inst.type, result)
+        bits = inst.type.bits  # type: ignore[union-attr]
+        a, b = int(lhs.value), int(rhs.value)
+        if op in ("udiv", "urem", "lshr"):
+            a, b = to_unsigned(a, bits), to_unsigned(b, bits)
+        if op in ("sdiv", "srem", "udiv", "urem") and b == 0:
+            return None  # leave the trap in place
+        return Constant(inst.type, wrap_int(INT_BINOP_FUNCS[op](a, b), bits))
+    # Algebraic identities with one constant operand.
+    return _fold_identity(inst)
+
+
+def _fold_identity(inst: BinaryOp) -> Value | None:
+    lhs, rhs = inst.lhs, inst.rhs
+    op = inst.opcode
+    if isinstance(rhs, Constant):
+        v = rhs.value
+        if op in ("add", "sub", "or", "xor", "shl", "ashr", "lshr") and v == 0:
+            return lhs
+        if op in ("mul",) and v == 1:
+            return lhs
+        if op in ("sdiv", "udiv") and v == 1:
+            return lhs
+        if op == "mul" and v == 0:
+            return Constant(inst.type, 0)
+        if op == "and" and v == 0:
+            return Constant(inst.type, 0)
+        if op == "fadd" and v == 0.0:
+            return lhs
+        if op == "fmul" and v == 1.0:
+            return lhs
+    if isinstance(lhs, Constant):
+        v = lhs.value
+        if op in ("add", "or", "xor") and v == 0:
+            return rhs
+        if op == "mul" and v == 1:
+            return rhs
+        if op == "mul" and v == 0:
+            return Constant(inst.type, 0)
+        if op == "and" and v == 0:
+            return Constant(inst.type, 0)
+    return None
+
+
+def _fold_cast(inst: Cast) -> Value | None:
+    value = inst.value.value  # type: ignore[union-attr]
+    op = inst.opcode
+    target = inst.type
+    if op == "trunc":
+        return Constant(target, wrap_int(int(value), target.bits))  # type: ignore[union-attr]
+    if op == "zext":
+        return Constant(target, to_unsigned(int(value), inst.value.type.bits))  # type: ignore[union-attr]
+    if op == "sext":
+        return Constant(target, int(value))
+    if op == "sitofp":
+        result = float(value)
+        if isinstance(target, FloatType) and target.bits == 32:
+            result = round_f32(result)
+        return Constant(target, result)
+    if op == "fptosi":
+        return Constant(target, wrap_int(int(value), target.bits))  # type: ignore[union-attr]
+    if op == "fpext":
+        return Constant(target, float(value))
+    if op == "fptrunc":
+        return Constant(target, round_f32(float(value)))
+    if op in ("bitcast", "inttoptr", "ptrtoint"):
+        return Constant(target, value)
+    return None

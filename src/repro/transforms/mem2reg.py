@@ -1,0 +1,143 @@
+"""SSA construction: promote scalar ``alloca`` slots to registers.
+
+Standard algorithm: place phi nodes at the iterated dominance frontier of
+every store, then rename along a dominator-tree walk.  After this pass the
+frontend's load/store-per-variable code becomes proper SSA, which is what
+the PDG and the pipeline transform operate on (register dependences become
+visible def-use edges instead of memory traffic).
+
+Loads that can execute before any store see a zero of the slot's type —
+deterministic stand-in for C's undefined uninitialised locals.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Instruction, Load, Phi, Store
+from ..ir.types import FloatType, IntType, PointerType
+from ..ir.values import Constant, Value
+from ..analysis.dominators import DominatorTree, dominator_tree
+
+
+def promote_allocas(function: Function, domtree: DominatorTree | None = None) -> int:
+    """Run mem2reg on ``function``; returns the number of promoted slots."""
+    domtree = domtree or dominator_tree(function)
+    allocas = _promotable_allocas(function)
+    if not allocas:
+        return 0
+
+    frontier = domtree.dominance_frontier()
+
+    # 1. Phi placement at the iterated dominance frontier of each store.
+    phi_owner: dict[int, Alloca] = {}  # id(phi) -> alloca it merges
+    for alloca in allocas:
+        def_blocks = {
+            id(user.parent): user.parent
+            for user in alloca.users
+            if isinstance(user, Store) and user.parent is not None
+        }
+        placed: set[int] = set()
+        work = list(def_blocks.values())
+        while work:
+            block = work.pop()
+            for front in frontier.get(id(block), []):
+                if id(front) in placed:
+                    continue
+                placed.add(id(front))
+                phi = Phi(alloca.allocated_type, alloca.name)
+                front.insert(0, phi)
+                phi_owner[id(phi)] = alloca
+                if id(front) not in def_blocks:
+                    def_blocks[id(front)] = front
+                    work.append(front)
+
+    # 2. Renaming along the dominator tree.
+    alloca_ids = {id(a) for a in allocas}
+    current: dict[int, Value] = {}
+
+    def default_value(alloca: Alloca) -> Value:
+        t = alloca.allocated_type
+        if isinstance(t, FloatType):
+            return Constant(t, 0.0)
+        return Constant(t, 0)
+
+    def rename(block: BasicBlock, incoming: dict[int, Value]) -> None:
+        local = dict(incoming)
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi) and id(inst) in phi_owner:
+                local[id(phi_owner[id(inst)])] = inst
+            elif isinstance(inst, Load) and id(inst.pointer) in alloca_ids:
+                alloca = inst.pointer
+                value = local.get(id(alloca))
+                if value is None:
+                    value = default_value(alloca)  # type: ignore[arg-type]
+                inst.replace_all_uses_with(value)
+                inst.erase()
+            elif isinstance(inst, Store) and id(inst.pointer) in alloca_ids:
+                local[id(inst.pointer)] = inst.value
+                inst.erase()
+        # Fill phi arms in successors.
+        for succ in block.successors():
+            for phi in succ.phis():
+                owner = phi_owner.get(id(phi))
+                if owner is None:
+                    continue
+                value = local.get(id(owner))
+                if value is None:
+                    value = default_value(owner)
+                phi.add_incoming(value, block)
+        for child in domtree.children(block):
+            rename(child, local)
+
+    rename(function.entry, current)
+
+    # 3. Remove the dead slots and prune degenerate phis.
+    for alloca in allocas:
+        if not alloca.users:
+            alloca.erase()
+    _prune_trivial_phis(function, set(phi_owner))
+    return len(allocas)
+
+
+def _promotable_allocas(function: Function) -> list[Alloca]:
+    """Scalar slots whose address never escapes (only direct load/store)."""
+    result = []
+    for inst in function.entry.instructions:
+        if not isinstance(inst, Alloca):
+            continue
+        if not isinstance(inst.allocated_type, (IntType, FloatType, PointerType)):
+            continue
+        promotable = True
+        for user in inst.users:
+            if isinstance(user, Load) and user.pointer is inst:
+                continue
+            if isinstance(user, Store) and user.pointer is inst and user.value is not inst:
+                continue
+            promotable = False
+            break
+        if promotable:
+            result.append(inst)
+    return result
+
+
+def _prune_trivial_phis(function: Function, placed: set[int]) -> None:
+    """Remove phis whose arms are all the same value (or self-references)."""
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for phi in list(block.phis()):
+                if id(phi) not in placed:
+                    continue
+                distinct = {
+                    id(v) for v in phi.operands if v is not phi
+                }
+                values = [v for v in phi.operands if v is not phi]
+                if len(distinct) == 1:
+                    phi.replace_all_uses_with(values[0])
+                    phi.erase()
+                    changed = True
+                elif not phi.users:
+                    phi.erase()
+                    changed = True

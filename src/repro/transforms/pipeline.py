@@ -1,0 +1,41 @@
+"""The standard optimization pipeline run before CGPA's analyses.
+
+Mirrors the paper's "a set of common optimization passes such as dead code
+elimination, strength reduction, and scalar optimizations are applied
+before generating the actual pipeline" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.verifier import verify_function
+from .constfold import fold_constants
+from .dce import eliminate_dead_code
+from .mem2reg import promote_allocas
+from .simplify_cfg import simplify_cfg
+
+
+def optimize_function(function: Function, verify: bool = True) -> None:
+    """mem2reg + folding + DCE + CFG cleanup, to a fixed point."""
+    remove_unreachable_blocks(function)
+    simplify_cfg(function)
+    promote_allocas(function)
+    for _ in range(4):
+        changed = 0
+        changed += fold_constants(function)
+        changed += eliminate_dead_code(function)
+        changed += simplify_cfg(function)
+        if not changed:
+            break
+    if verify:
+        verify_function(function)
+
+
+def optimize_module(module: Module, verify: bool = True) -> None:
+    """Run the standard optimization pipeline on every defined function."""
+
+    for function in module.functions.values():
+        if not function.is_declaration:
+            optimize_function(function, verify=verify)

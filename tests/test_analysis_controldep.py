@@ -1,0 +1,96 @@
+"""Unit tests for control-dependence computation (FOW algorithm)."""
+
+from repro.analysis import control_dependence
+from repro.frontend import compile_c
+from repro.transforms import optimize_module
+
+
+def cd_of(source, name="f"):
+    module = compile_c(source)
+    optimize_module(module)
+    fn = module.get_function(name)
+    cd = control_dependence(fn)
+    blocks = {b.name: b for b in fn.blocks}
+    return fn, cd, blocks
+
+
+def controls(cd, blocks, dependent, controller):
+    return any(
+        b.name == controller for b in cd.get(id(blocks[dependent]), [])
+    )
+
+
+class TestIfElse:
+    SRC = """
+    int f(int x) {
+        int r = 0;
+        if (x > 0) r = 1;
+        else r = 2;
+        return r + x;
+    }
+    """
+
+    def test_branches_control_their_arms(self):
+        fn, cd, blocks = cd_of(self.SRC)
+        # After CFG simplification only the else arm survives as a block
+        # (the then arm collapsed into a phi edge); it must be controlled
+        # by the branch in entry.
+        assert controls(cd, blocks, "if.else", "entry")
+
+    def test_merge_not_controlled(self):
+        fn, cd, blocks = cd_of(self.SRC)
+        # The merge block executes regardless of the branch direction.
+        assert not controls(cd, blocks, "if.end", "entry")
+
+
+class TestLoops:
+    SRC = """
+    int f(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) s += i;
+        return s;
+    }
+    """
+
+    def test_body_controlled_by_header(self):
+        fn, cd, blocks = cd_of(self.SRC)
+        body = next(n for n in blocks if n.startswith("for.body"))
+        header = next(n for n in blocks if n.startswith("for.cond"))
+        assert controls(cd, blocks, body, header)
+
+    def test_header_controls_itself(self):
+        # Whether the header runs again depends on its own branch.
+        fn, cd, blocks = cd_of(self.SRC)
+        header = next(n for n in blocks if n.startswith("for.cond"))
+        assert controls(cd, blocks, header, header)
+
+    def test_exit_block_not_controlled_by_header(self):
+        fn, cd, blocks = cd_of(self.SRC)
+        header = next(n for n in blocks if n.startswith("for.cond"))
+        end = next(n for n in blocks if n.startswith("for.end"))
+        assert not controls(cd, blocks, end, header)
+
+
+class TestNested:
+    SRC = """
+    int f(int n, int m) {
+        int s = 0;
+        for (int i = 0; i < n; i++) {
+            if (i % 2 == 0) {
+                for (int j = 0; j < m; j++) s += j;
+            }
+        }
+        return s;
+    }
+    """
+
+    def test_inner_loop_controlled_by_guard(self):
+        fn, cd, blocks = cd_of(self.SRC)
+        # The even-check branch lives in the outer body block 'for.body';
+        # the inner header 'for.cond.1' executes only when it is taken.
+        assert controls(cd, blocks, "for.cond.1", "for.body")
+
+    def test_transitivity_through_nesting(self):
+        fn, cd, blocks = cd_of(self.SRC)
+        # The innermost body is directly controlled by the inner header.
+        assert controls(cd, blocks, "for.body.1", "for.cond.1")

@@ -1,0 +1,163 @@
+"""Unit and property tests for dominators, post-dominators, frontiers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    LoopInfo,
+    dominator_tree,
+    postdominator_tree,
+    reverse_postorder,
+)
+from repro.frontend import compile_c
+from repro.ir import FunctionType, I32, IRBuilder, Module
+
+
+def diamond():
+    """entry -> (a|b) -> merge -> ret"""
+    m = Module("m")
+    f = m.new_function("f", FunctionType(I32, [I32]), ["x"])
+    entry = f.new_block("entry")
+    a = f.new_block("a")
+    b = f.new_block("b")
+    merge = f.new_block("merge")
+    bld = IRBuilder(entry)
+    cond = bld.icmp("slt", f.args[0], bld.const_int(0))
+    bld.cond_branch(cond, a, b)
+    bld.set_block(a)
+    bld.jump(merge)
+    bld.set_block(b)
+    bld.jump(merge)
+    bld.set_block(merge)
+    bld.ret(f.args[0])
+    return f, entry, a, b, merge
+
+
+class TestDominators:
+    def test_diamond(self):
+        f, entry, a, b, merge = diamond()
+        dt = dominator_tree(f)
+        assert dt.idom(a) is entry
+        assert dt.idom(b) is entry
+        assert dt.idom(merge) is entry  # not a or b
+        assert dt.dominates(entry, merge)
+        assert not dt.dominates(a, merge)
+        assert dt.dominates(merge, merge)  # reflexive
+
+    def test_dominance_frontier_of_diamond(self):
+        f, entry, a, b, merge = diamond()
+        dt = dominator_tree(f)
+        frontier = dt.dominance_frontier()
+        assert frontier[id(a)] == [merge]
+        assert frontier[id(b)] == [merge]
+        assert frontier[id(entry)] == []
+
+    def test_postdominators_of_diamond(self):
+        f, entry, a, b, merge = diamond()
+        pdt = postdominator_tree(f)
+        assert pdt.idom(a) is merge
+        assert pdt.idom(b) is merge
+        assert pdt.dominates(merge, entry)  # merge post-dominates entry
+        assert not pdt.dominates(a, entry)
+
+    def test_loop_from_c(self):
+        module = compile_c(
+            "int f(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        f = module.get_function("f")
+        li = LoopInfo(f)
+        assert len(li.loops) == 1
+        loop = li.loops[0]
+        assert loop.header.name.startswith("for.cond")
+        names = {b.name for b in loop.blocks}
+        assert any(n.startswith("for.body") for n in names)
+        assert not any(n.startswith("for.end") for n in names)
+        assert len(loop.exit_edges()) == 1
+
+    def test_nested_loops_from_c(self):
+        module = compile_c(
+            "int f(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++)"
+            "   for (int j = 0; j < n; j++) s += j;"
+            " return s; }"
+        )
+        li = LoopInfo(module.get_function("f"))
+        assert len(li.loops) == 2
+        top = li.top_level()
+        assert len(top) == 1
+        assert len(top[0].children) == 1
+        inner = top[0].children[0]
+        assert inner.parent is top[0]
+        assert inner.depth == 1
+
+    def test_while_with_break_has_two_exits(self):
+        module = compile_c(
+            "int f(int n) { int i = 0;"
+            " while (i < n) { if (i == 7) break; i++; } return i; }"
+        )
+        li = LoopInfo(module.get_function("f"))
+        (loop,) = li.loops
+        assert len(loop.exit_edges()) == 2
+
+    def test_rpo_starts_at_entry(self):
+        f, entry, *_ = diamond()
+        order = reverse_postorder(f)
+        assert order[0] is entry
+        assert len(order) == 4
+
+
+class TestDominatorProperties:
+    @staticmethod
+    def random_cfg(data, n_blocks):
+        """Build a random CFG with hypothesis-chosen branch targets."""
+        m = Module("m")
+        f = m.new_function("f", FunctionType(I32, [I32]), ["x"])
+        blocks = [f.new_block(f"b{i}") for i in range(n_blocks)]
+        bld = IRBuilder(None)
+        for i, block in enumerate(blocks):
+            bld.set_block(block)
+            kind = data.draw(st.integers(0, 2), label=f"kind{i}")
+            if kind == 0 or i == n_blocks - 1:
+                bld.ret(f.args[0])
+            elif kind == 1:
+                target = blocks[data.draw(st.integers(0, n_blocks - 1))]
+                bld.jump(target)
+            else:
+                cond = bld.icmp("slt", f.args[0], bld.const_int(i))
+                t1 = blocks[data.draw(st.integers(0, n_blocks - 1))]
+                t2 = blocks[data.draw(st.integers(0, n_blocks - 1))]
+                bld.cond_branch(cond, t1, t2)
+        return f
+
+    @given(st.data(), st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_entry_dominates_all_reachable(self, data, n_blocks):
+        f = self.random_cfg(data, n_blocks)
+        dt = dominator_tree(f)
+        for block in reverse_postorder(f):
+            assert dt.dominates(f.entry, block)
+
+    @given(st.data(), st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_idom_strictly_dominates(self, data, n_blocks):
+        f = self.random_cfg(data, n_blocks)
+        dt = dominator_tree(f)
+        for block in reverse_postorder(f):
+            parent = dt.idom(block)
+            if parent is not None:
+                assert parent is not block
+                assert dt.dominates(parent, block)
+
+    @given(st.data(), st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_dominance_is_transitive_on_idom_chain(self, data, n_blocks):
+        f = self.random_cfg(data, n_blocks)
+        dt = dominator_tree(f)
+        for block in reverse_postorder(f):
+            chain = []
+            cur = block
+            while cur is not None:
+                chain.append(cur)
+                cur = dt.idom(cur)
+            for anc in chain:
+                assert dt.dominates(anc, block)

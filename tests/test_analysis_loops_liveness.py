@@ -1,0 +1,126 @@
+"""Tests for loop live-in/live-out computation and loop structure queries."""
+
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.frontend import compile_c
+from repro.ir import Phi
+from repro.transforms import optimize_module
+
+
+def loop_of(source, name="kernel", index=0):
+    module = compile_c(source)
+    optimize_module(module)
+    fn = module.get_function(name)
+    return module, fn, LoopInfo(fn).top_level()[index]
+
+
+class TestLiveIns:
+    def test_arguments_are_liveins(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n, int step) {"
+            " int s = 0; for (int i = 0; i < n; i += 1) s += step;"
+            " return s; }"
+        )
+        names = {v.name for v in loop.live_ins()}
+        assert "n" in names and "step" in names
+
+    def test_preheader_computations_are_liveins(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) {"
+            " int base = n * 17;"
+            " int s = 0;"
+            " for (int i = 0; i < n; i++) s += base;"
+            " return s; }"
+        )
+        liveins = loop.live_ins()
+        # base (the mul result) flows in from outside the loop.
+        assert any(
+            getattr(v, "opcode", None) == "mul" for v in liveins
+        )
+
+    def test_constants_not_liveins(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += 42; return s; }"
+        )
+        from repro.ir import Constant
+        assert not any(isinstance(v, Constant) for v in loop.live_ins())
+
+    def test_globals_not_liveins(self):
+        module, fn, loop = loop_of(
+            "int g = 3;"
+            "int kernel(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += g; return s; }"
+        )
+        from repro.ir import GlobalVariable
+        assert not any(isinstance(v, GlobalVariable) for v in loop.live_ins())
+
+
+class TestLiveOuts:
+    def test_reduction_phi_liveout(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        liveouts = loop.live_outs()
+        assert len(liveouts) == 1
+        assert isinstance(liveouts[0], Phi)
+
+    def test_no_liveouts_for_memory_only_loop(self):
+        module, fn, loop = loop_of(
+            "void* malloc(int m);"
+            "void kernel(int* a, int n) {"
+            " for (int i = 0; i < n; i++) a[i] = i; }"
+        )
+        assert loop.live_outs() == []
+
+    def test_multiple_liveouts(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) { int s = 0; int p = 1;"
+            " for (int i = 1; i <= n; i++) { s += i; p *= i; }"
+            " return s + p; }"
+        )
+        assert len(loop.live_outs()) == 2
+
+
+class TestStructure:
+    def test_latch_and_exits(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        assert len(loop.latches()) == 1
+        assert len(loop.exiting_blocks()) == 1
+        assert len(loop.exit_blocks()) == 1
+        assert loop.exit_blocks()[0].name.startswith("for.end")
+
+    def test_while_with_break_two_exiting(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) { int i = 0;"
+            " while (i < n) { if (i == 5) break; i++; }"
+            " return i; }"
+        )
+        assert len(loop.exiting_blocks()) == 2
+
+    def test_do_while_loop_recognized(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) { int i = 0;"
+            " do { i += 2; } while (i < n); return i; }"
+        )
+        assert loop.header is not None
+        assert len(loop.latches()) == 1
+
+    def test_depth_and_nesting(self):
+        module, fn, loop = loop_of(
+            "int kernel(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++)"
+            "   for (int j = 0; j < i; j++)"
+            "     for (int k = 0; k < j; k++) s += k;"
+            " return s; }"
+        )
+        assert loop.depth == 0
+        inner = loop.children[0]
+        assert inner.depth == 1
+        assert inner.children[0].depth == 2
+        assert loop.contains_block(inner.children[0].header)

@@ -1,0 +1,199 @@
+"""Unit tests for the loop-carried memory dependence analysis."""
+
+import pytest
+
+from repro.analysis import (
+    LoopInfo,
+    LoopMemoryModel,
+    PointsTo,
+    RegionShapes,
+    Shape,
+    basic_induction_variables,
+    traversal_phis,
+)
+from repro.frontend import compile_c
+from repro.interp import malloc_site_table
+from repro.ir import Load, Store
+from repro.transforms import optimize_module
+
+
+def build_model(source, kernel="kernel", shapes="list"):
+    module = compile_c(source)
+    optimize_module(module)
+    fn = module.get_function(kernel)
+    loop = LoopInfo(fn).top_level()[0]
+    pt = PointsTo(module)
+    region_shapes = RegionShapes()
+    if shapes == "list":
+        for site in malloc_site_table(module):
+            region_shapes.declare(site, Shape.LIST)
+    return module, fn, loop, LoopMemoryModel(loop, pt, region_shapes)
+
+
+LIST_SOURCE = """
+typedef struct n { double v; struct n* next; } n_t;
+void* malloc(int m);
+void kernel(n_t* p) {
+    for ( ; p; p = p->next) {
+        double x = p->v;
+        p->v = x * 2.0;
+    }
+}
+void driver(void) {
+    n_t* head = 0;
+    for (int i = 0; i < 4; i++) {
+        n_t* f = (n_t*)malloc(sizeof(n_t));
+        f->v = i; f->next = head; head = f;
+    }
+    kernel(head);
+}
+"""
+
+
+class TestIVandTraversalDetection:
+    def test_basic_iv_detected(self):
+        src = """
+        void* malloc(int m);
+        void kernel(int* a, int n) { for (int i = 0; i < n; i += 2) a[i] = i; }
+        void driver(void) { kernel((int*)malloc(64), 8); }
+        """
+        module, fn, loop, model = build_model(src)
+        ivs = basic_induction_variables(loop)
+        assert len(ivs) == 1
+        assert next(iter(ivs.values())).step == 2
+
+    def test_down_counting_iv(self):
+        src = """
+        void* malloc(int m);
+        void kernel(int* a, int n) { for (int i = n; i > 0; i--) a[i] = i; }
+        void driver(void) { kernel((int*)malloc(64), 8); }
+        """
+        module, fn, loop, model = build_model(src)
+        ivs = basic_induction_variables(loop)
+        assert next(iter(ivs.values())).step == -1
+
+    def test_traversal_phi_detected(self):
+        module, fn, loop, model = build_model(LIST_SOURCE)
+        travs = traversal_phis(loop, model.pointsto, model.shapes)
+        assert len(travs) == 1
+        assert next(iter(travs.values())).acyclic
+
+    def test_traversal_not_acyclic_without_shape_facts(self):
+        module, fn, loop, model = build_model(LIST_SOURCE, shapes="none")
+        travs = traversal_phis(loop, model.pointsto, model.shapes)
+        assert len(travs) == 1
+        assert not next(iter(travs.values())).acyclic
+
+
+class TestTraversalVerdicts:
+    def test_same_field_intra_only_on_acyclic_list(self):
+        module, fn, loop, model = build_model(LIST_SOURCE)
+        load = next(i for i in loop.instructions()
+                    if isinstance(i, Load) and i.type.is_float)
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        verdict = model.dependence(load, store)
+        assert verdict.intra and not verdict.carried
+
+    def test_same_field_carried_on_cyclic_region(self):
+        module, fn, loop, model = build_model(LIST_SOURCE, shapes="none")
+        load = next(i for i in loop.instructions()
+                    if isinstance(i, Load) and i.type.is_float)
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        verdict = model.dependence(load, store)
+        assert verdict.carried
+
+    def test_disjoint_fields_no_dep(self):
+        src = """
+        typedef struct n { double v; int tag; struct n* next; } n_t;
+        void* malloc(int m);
+        void kernel(n_t* p) {
+            for ( ; p; p = p->next) {
+                int t = p->tag;      /* offset 8 */
+                p->v = 1.0 + t;      /* offset 0 */
+            }
+        }
+        void driver(void) {
+            n_t* f = (n_t*)malloc(sizeof(n_t)); f->next = 0; kernel(f);
+        }
+        """
+        module, fn, loop, model = build_model(src)
+        load = next(i for i in loop.instructions()
+                    if isinstance(i, Load) and i.type.is_integer)
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        verdict = model.dependence(load, store)
+        assert not verdict.any
+
+
+class TestAffineVerdicts:
+    def _loop(self, body):
+        src = f"""
+        void* malloc(int m);
+        void kernel(int* a, int* b, int n) {{
+            for (int i = 1; i < n; i++) {{ {body} }}
+        }}
+        void driver(void) {{ kernel((int*)malloc(256), (int*)malloc(256), 8); }}
+        """
+        return build_model(src)
+
+    def test_same_index_intra_only(self):
+        module, fn, loop, model = self._loop("a[i] = a[i] + 1;")
+        load = next(i for i in loop.instructions() if isinstance(i, Load))
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        verdict = model.dependence(load, store)
+        assert verdict.intra and not verdict.carried
+
+    def test_shifted_index_carried(self):
+        module, fn, loop, model = self._loop("a[i] = a[i - 1] * 2;")
+        load = next(i for i in loop.instructions() if isinstance(i, Load))
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        verdict = model.dependence(load, store)
+        assert verdict.carried
+
+    def test_disjoint_arrays_no_dep(self):
+        module, fn, loop, model = self._loop("a[i] = b[i] * 2;")
+        load = next(i for i in loop.instructions() if isinstance(i, Load))
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        assert not model.dependence(load, store).any
+
+    def test_data_dependent_index_conservative(self):
+        module, fn, loop, model = self._loop("a[b[i] & 7] += 1;")
+        stores = [i for i in loop.instructions() if isinstance(i, Store)]
+        verdict = model.dependence(stores[0], stores[0])
+        assert verdict.carried  # histogram self-dependence
+
+    def test_store_self_dependence_affine_none(self):
+        module, fn, loop, model = self._loop("a[i] = i;")
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        verdict = model.dependence(store, store)
+        assert not verdict.carried
+
+
+class TestInvariantVerdicts:
+    def test_accumulator_in_memory_fully_dependent(self):
+        src = """
+        void* malloc(int m);
+        void kernel(int* acc, int n) {
+            for (int i = 0; i < n; i++) *acc += i;
+        }
+        void driver(void) { kernel((int*)malloc(4), 8); }
+        """
+        module, fn, loop, model = build_model(src)
+        load = next(i for i in loop.instructions() if isinstance(i, Load))
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        verdict = model.dependence(load, store)
+        assert verdict.intra and verdict.carried
+
+    def test_loads_never_conflict(self):
+        src = """
+        void* malloc(int m);
+        int kernel(int* a, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += a[i] + a[0];
+            return s;
+        }
+        void driver(void) { kernel((int*)malloc(64), 8); }
+        """
+        module, fn, loop, model = build_model(src)
+        loads = [i for i in loop.instructions() if isinstance(i, Load)]
+        assert len(loads) == 2
+        assert not model.dependence(loads[0], loads[1]).any

@@ -1,0 +1,291 @@
+"""PDG construction and SCC classification tests.
+
+These check the paper's central analysis result: on irregular pointer
+loops, the traversal becomes a *replicable* (heavyweight) SCC, the update
+work becomes *parallel* SCCs, and reductions become *sequential* SCCs.
+"""
+
+import pytest
+
+from repro.analysis import (
+    LoopInfo,
+    PointsTo,
+    ProgramDependenceGraph,
+    RegionShapes,
+    SccClass,
+    Shape,
+)
+from repro.frontend import compile_c
+from repro.interp import malloc_site_table
+from repro.ir import Call, Load, Phi, Store
+from repro.transforms import optimize_module
+
+EM3D_SOURCE = """
+typedef struct node {
+    double value;
+    int from_count;
+    struct node** from_nodes;
+    double* coeffs;
+    struct node* next;
+} node_t;
+void* malloc(int n);
+
+node_t* build(int n_a, int n_b, int degree) {
+    node_t* b_head = 0;
+    for (int i = 0; i < n_b; i++) {
+        node_t* nb = (node_t*)malloc(sizeof(node_t));
+        nb->value = i; nb->from_count = 0;
+        nb->from_nodes = 0; nb->coeffs = 0;
+        nb->next = b_head; b_head = nb;
+    }
+    node_t* a_head = 0;
+    for (int i = 0; i < n_a; i++) {
+        node_t* na = (node_t*)malloc(sizeof(node_t));
+        na->value = 0.0;
+        na->from_count = degree;
+        na->from_nodes = (node_t**)malloc(degree * sizeof(node_t*));
+        na->coeffs = (double*)malloc(degree * sizeof(double));
+        node_t* cursor = b_head;
+        for (int j = 0; j < degree; j++) {
+            na->from_nodes[j] = cursor;
+            na->coeffs[j] = 0.5;
+            cursor = cursor->next;
+            if (!cursor) cursor = b_head;
+        }
+        na->next = a_head; a_head = na;
+    }
+    return a_head;
+}
+
+void kernel(node_t* nodelist) {
+    for ( ; nodelist; nodelist = nodelist->next) {
+        for (int i = 0; i < nodelist->from_count; i++) {
+            node_t* from = nodelist->from_nodes[i];
+            double coeff = nodelist->coeffs[i];
+            double value = from->value;
+            nodelist->value -= coeff * value;
+        }
+    }
+}
+
+int main(void) {
+    node_t* list = build(8, 8, 3);
+    kernel(list);
+    return 0;
+}
+"""
+
+
+def build_em3d_pdg(shapes=None):
+    module = compile_c(EM3D_SOURCE)
+    optimize_module(module)
+    kernel = module.get_function("kernel")
+    loops = LoopInfo(kernel)
+    outer = loops.top_level()[0]
+    pt = PointsTo(module)
+    if shapes is None:
+        shapes = RegionShapes()
+        for site in malloc_site_table(module):
+            shapes.declare(site, Shape.LIST)
+    return module, kernel, outer, ProgramDependenceGraph(outer, pt, shapes)
+
+
+class TestEm3dClassification:
+    def test_traversal_is_replicable_and_heavy(self):
+        module, kernel, outer, pdg = build_em3d_pdg()
+        traversal_phi = next(
+            p for p in outer.header_phis() if p.type.is_pointer
+        )
+        scc = pdg.scc_of(traversal_phi)
+        assert scc.classification is SccClass.REPLICABLE
+        assert not scc.is_lightweight  # contains the ->next load
+
+    def test_update_store_is_parallel(self):
+        module, kernel, outer, pdg = build_em3d_pdg()
+        store = next(i for i in kernel.instructions() if isinstance(i, Store))
+        scc = pdg.scc_of(store)
+        assert scc.classification is SccClass.PARALLEL
+
+    def test_inner_loop_iv_is_parallel(self):
+        # The inner loop's recurrence is not carried by the *outer* loop.
+        module, kernel, outer, pdg = build_em3d_pdg()
+        inner = LoopInfo(kernel).loops
+        inner_loop = next(l for l in inner if l.parent is not None)
+        iv_phi = next(p for p in inner_loop.header_phis() if p.type.is_integer)
+        assert pdg.scc_of(iv_phi).classification is SccClass.PARALLEL
+
+    def test_without_shape_facts_update_is_not_parallel(self):
+        # Conservative shapes (CYCLIC): the store may revisit a node, so
+        # the update gains a carried dependence.
+        module, kernel, outer, pdg = build_em3d_pdg(shapes=RegionShapes())
+        store = next(i for i in kernel.instructions() if isinstance(i, Store))
+        assert pdg.scc_of(store).classification is not SccClass.PARALLEL
+
+    def test_exit_branch_in_traversal_scc(self):
+        module, kernel, outer, pdg = build_em3d_pdg()
+        traversal_phi = next(p for p in outer.header_phis() if p.type.is_pointer)
+        branch = outer.header.terminator
+        assert pdg.scc_of(branch).index == pdg.scc_of(traversal_phi).index
+
+    def test_summary_counts(self):
+        module, kernel, outer, pdg = build_em3d_pdg()
+        summary = pdg.summary()
+        assert summary["replicable"] >= 1
+        assert summary["parallel"] >= 3
+        assert summary["sequential"] == 0  # em3d's loop body has no seq SCC
+
+
+REDUCTION_SOURCE = """
+void* malloc(int n);
+int kernel(int* data, int n) {
+    int best = -1;
+    for (int i = 0; i < n; i++) {
+        int v = data[i] * 3 - i;
+        if (v > best) best = v;
+    }
+    return best;
+}
+int main(void) {
+    int* d = (int*)malloc(64 * sizeof(int));
+    for (int i = 0; i < 64; i++) d[i] = (i * 37) % 101;
+    return kernel(d, 64);
+}
+"""
+
+
+class TestReductionClassification:
+    def test_max_reduction_is_replicable_not_parallel(self):
+        module = compile_c(REDUCTION_SOURCE)
+        optimize_module(module)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).top_level()[0]
+        pdg = ProgramDependenceGraph(loop, PointsTo(module))
+        best_phi = next(
+            p for p in loop.header_phis()
+            if any(u.opcode == "ret" or "select" in u.opcode for u in p.users)
+            or len(loop.header_phis()) == 2
+        )
+        # Find the reduction phi: integer phi that is not the IV.
+        from repro.analysis import basic_induction_variables
+        ivs = basic_induction_variables(loop)
+        red_phi = next(
+            p for p in loop.header_phis() if id(p) not in ivs
+        )
+        scc = pdg.scc_of(red_phi)
+        assert scc.classification is SccClass.REPLICABLE
+        assert scc.has_internal_carried
+
+    def test_iv_scc_is_replicable(self):
+        module = compile_c(REDUCTION_SOURCE)
+        optimize_module(module)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).top_level()[0]
+        pdg = ProgramDependenceGraph(loop, PointsTo(module))
+        from repro.analysis import basic_induction_variables
+        ivs = basic_induction_variables(loop)
+        assert len(ivs) == 1
+        iv = next(iter(ivs.values()))
+        scc = pdg.scc_of(iv.phi)
+        assert scc.classification is SccClass.REPLICABLE
+        assert scc.is_lightweight
+
+    def test_data_load_is_parallel(self):
+        module = compile_c(REDUCTION_SOURCE)
+        optimize_module(module)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).top_level()[0]
+        pdg = ProgramDependenceGraph(loop, PointsTo(module))
+        load = next(i for i in loop.instructions() if isinstance(i, Load))
+        assert pdg.scc_of(load).classification is SccClass.PARALLEL
+
+
+SEQUENTIAL_STORE_SOURCE = """
+void* malloc(int n);
+void kernel(int* hist, int* data, int n) {
+    for (int i = 0; i < n; i++) {
+        int b = data[i] & 7;
+        hist[b] += 1;
+    }
+}
+int main(void) {
+    int* hist = (int*)malloc(8 * sizeof(int));
+    int* data = (int*)malloc(100 * sizeof(int));
+    for (int i = 0; i < 100; i++) data[i] = i * 13;
+    kernel(hist, data, 100);
+    return hist[0];
+}
+"""
+
+
+class TestSequentialClassification:
+    def test_histogram_update_is_sequential(self):
+        # hist[b] with data-dependent b: carried WAW/RAW -> sequential.
+        module = compile_c(SEQUENTIAL_STORE_SOURCE)
+        optimize_module(module)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).top_level()[0]
+        pdg = ProgramDependenceGraph(loop, PointsTo(module))
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        assert pdg.scc_of(store).classification is SccClass.SEQUENTIAL
+
+    def test_affine_store_is_parallel(self):
+        module = compile_c(
+            """
+            void* malloc(int n);
+            void kernel(int* out, int* data, int n) {
+                for (int i = 0; i < n; i++) out[i] = data[i] * 2;
+            }
+            int main(void) {
+                int* out = (int*)malloc(40);
+                int* data = (int*)malloc(40);
+                kernel(out, data, 10);
+                return out[0];
+            }
+            """
+        )
+        optimize_module(module)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).top_level()[0]
+        pdg = ProgramDependenceGraph(loop, PointsTo(module))
+        store = next(i for i in loop.instructions() if isinstance(i, Store))
+        assert pdg.scc_of(store).classification is SccClass.PARALLEL
+
+
+CALL_SOURCE = """
+void* malloc(int n);
+double score(double* row, double* center, int nf) {
+    double s = 0.0;
+    for (int j = 0; j < nf; j++) {
+        double d = row[j] - center[j];
+        s += d * d;
+    }
+    return s;
+}
+void kernel(double* rows, double* center, double* out, int n, int nf) {
+    for (int i = 0; i < n; i++) {
+        out[i] = score(rows + i * nf, center, nf);
+    }
+}
+int main(void) {
+    double* rows = (double*)malloc(20 * 4 * sizeof(double));
+    double* center = (double*)malloc(4 * sizeof(double));
+    double* out = (double*)malloc(20 * sizeof(double));
+    kernel(rows, center, out, 20, 4);
+    return (int)out[0];
+}
+"""
+
+
+class TestCallClassification:
+    def test_pure_call_is_parallel(self):
+        # The K-means pattern: findNearestPoint-style read-only call.
+        module = compile_c(CALL_SOURCE)
+        optimize_module(module)
+        kernel = module.get_function("kernel")
+        loop = LoopInfo(kernel).top_level()[0]
+        pdg = ProgramDependenceGraph(loop, PointsTo(module))
+        call = next(
+            i for i in loop.instructions()
+            if isinstance(i, Call) and i.callee.name == "score"
+        )
+        assert pdg.scc_of(call).classification is SccClass.PARALLEL

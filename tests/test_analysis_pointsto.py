@@ -1,0 +1,295 @@
+"""Tests for the Andersen points-to analysis and mod/ref summaries."""
+
+from repro.analysis import EXTERNAL, PointsTo
+from repro.frontend import compile_c
+from repro.interp import malloc_site_table
+from repro.ir import Call, Load, Store
+from repro.transforms import optimize_module
+
+
+def compile_opt(source):
+    module = compile_c(source)
+    optimize_module(module)
+    return module
+
+
+def find_insts(function, klass):
+    return [i for i in function.instructions() if isinstance(i, klass)]
+
+
+class TestBasics:
+    def test_distinct_sites_do_not_alias(self):
+        module = compile_opt(
+            """
+            void* malloc(int n);
+            int main(void) {
+                int* a = (int*)malloc(40);
+                int* b = (int*)malloc(40);
+                a[1] = 1; b[1] = 2;
+                return a[1];
+            }
+            """
+        )
+        pt = PointsTo(module)
+        stores = find_insts(module.get_function("main"), Store)
+        assert len(stores) == 2
+        assert not pt.may_alias(stores[0].pointer, stores[1].pointer)
+
+    def test_same_site_aliases(self):
+        module = compile_opt(
+            """
+            void* malloc(int n);
+            int* make(void) { return (int*)malloc(4); }
+            int main(void) {
+                int* a = make();
+                int* b = make();
+                *a = 1; *b = 2;
+                return *a;
+            }
+            """
+        )
+        pt = PointsTo(module)
+        stores = find_insts(module.get_function("main"), Store)
+        # One malloc site serves both calls: context-insensitivity merges.
+        assert pt.may_alias(stores[0].pointer, stores[1].pointer)
+
+    def test_flow_through_heap(self):
+        module = compile_opt(
+            """
+            typedef struct box { int* payload; } box_t;
+            void* malloc(int n);
+            int main(void) {
+                box_t* b = (box_t*)malloc(sizeof(box_t));
+                int* x = (int*)malloc(4);
+                b->payload = x;
+                int* y = b->payload;
+                *y = 3;
+                return *x;
+            }
+            """
+        )
+        pt = PointsTo(module)
+        main = module.get_function("main")
+        stores = [s for s in find_insts(main, Store) if s.value.type.is_integer]
+        loads = [l for l in find_insts(main, Load) if l.type.is_integer]
+        # The store through y and load through x hit the same object.
+        assert pt.may_alias(stores[0].pointer, loads[0].pointer)
+
+    def test_globals_are_distinct_objects(self):
+        module = compile_opt(
+            """
+            int g1 = 0;
+            int g2 = 0;
+            int main(void) { g1 = 1; g2 = 2; return g1; }
+            """
+        )
+        pt = PointsTo(module)
+        g1 = module.globals["g1"]
+        g2 = module.globals["g2"]
+        assert not pt.may_alias(g1, g2)
+
+    def test_phi_merges_points_to_sets(self):
+        module = compile_opt(
+            """
+            void* malloc(int n);
+            int main(int c) {
+                int* a = (int*)malloc(4);
+                int* b = (int*)malloc(4);
+                int* p = c ? a : b;
+                *p = 1;
+                return *a;
+            }
+            """
+        )
+        pt = PointsTo(module)
+        main = module.get_function("main")
+        store = find_insts(main, Store)[0]
+        assert len(pt.points_to(store.pointer)) == 2
+
+    def test_uncalled_function_args_are_external(self):
+        module = compile_opt("int take(int* p) { return *p; }")
+        pt = PointsTo(module)
+        f = module.get_function("take")
+        assert EXTERNAL in pt.points_to(f.args[0])
+
+    def test_called_function_args_bound_to_actuals(self):
+        module = compile_opt(
+            """
+            void* malloc(int n);
+            int take(int* p) { return *p; }
+            int main(void) {
+                int* a = (int*)malloc(4);
+                *a = 7;
+                return take(a);
+            }
+            """
+        )
+        pt = PointsTo(module)
+        f = module.get_function("take")
+        objs = pt.points_to(f.args[0])
+        assert EXTERNAL not in objs
+        assert len(objs) == 1 and next(iter(objs)).kind == "malloc"
+
+
+class TestEm3dDisjointness:
+    """The paper's flagship analysis fact: the two em3d lists are disjoint."""
+
+    SOURCE = """
+    typedef struct node {
+        double value;
+        int from_count;
+        struct node** from_nodes;
+        double* coeffs;
+        struct node* next;
+    } node_t;
+    void* malloc(int n);
+
+    node_t* build(int n_a, int n_b, int degree) {
+        node_t* b_head = 0;
+        for (int i = 0; i < n_b; i++) {
+            node_t* nb = (node_t*)malloc(sizeof(node_t));   /* site B */
+            nb->value = i; nb->from_count = 0;
+            nb->from_nodes = 0; nb->coeffs = 0;
+            nb->next = b_head; b_head = nb;
+        }
+        node_t* a_head = 0;
+        for (int i = 0; i < n_a; i++) {
+            node_t* na = (node_t*)malloc(sizeof(node_t));   /* site A */
+            na->value = 0.0;
+            na->from_count = degree;
+            na->from_nodes = (node_t**)malloc(degree * sizeof(node_t*));
+            na->coeffs = (double*)malloc(degree * sizeof(double));
+            node_t* cursor = b_head;
+            for (int j = 0; j < degree; j++) {
+                na->from_nodes[j] = cursor;
+                na->coeffs[j] = 0.5;
+                cursor = cursor->next;
+                if (!cursor) cursor = b_head;
+            }
+            na->next = a_head; a_head = na;
+        }
+        return a_head;
+    }
+
+    void kernel(node_t* nodelist) {
+        for ( ; nodelist; nodelist = nodelist->next) {
+            for (int i = 0; i < nodelist->from_count; i++) {
+                node_t* from = nodelist->from_nodes[i];
+                double coeff = nodelist->coeffs[i];
+                double value = from->value;
+                nodelist->value -= coeff * value;
+            }
+        }
+    }
+
+    int main(void) {
+        node_t* list = build(8, 8, 3);
+        kernel(list);
+        return 0;
+    }
+    """
+
+    def test_from_and_nodelist_disjoint(self):
+        module = compile_opt(self.SOURCE)
+        pt = PointsTo(module)
+        kernel = module.get_function("kernel")
+        stores = find_insts(kernel, Store)
+        assert len(stores) == 1  # nodelist->value -= ...
+        value_store = stores[0]
+        # 'from->value' load: the only f64 load whose pointer is not
+        # derived from the nodelist traversal.
+        loads = [l for l in find_insts(kernel, Load) if l.type.is_float]
+        from_value_loads = [
+            l for l in loads
+            if not pt.may_alias(l.pointer, value_store.pointer)
+        ]
+        # At least the from->value load is provably disjoint from the store.
+        assert from_value_loads, "points-to failed to separate the two lists"
+
+    def test_modref_of_kernel(self):
+        module = compile_opt(self.SOURCE)
+        pt = PointsTo(module)
+        summary = pt.modref["kernel"]
+        # kernel writes only the A-node region.
+        assert len(summary.mod) == 1
+        assert EXTERNAL not in summary.mod
+        # It reads A nodes, the pointer array, the coeff array and B nodes.
+        assert len(summary.ref) >= 3
+
+    def test_site_numbering_matches_interpreter(self):
+        module = compile_opt(self.SOURCE)
+        table = malloc_site_table(module)
+        # build() has four malloc sites (B node, A node, from_nodes array,
+        # coeffs array), numbered in instruction order.
+        assert len(table) == 4
+        from repro.interp import Interpreter
+        interp = Interpreter(module)
+        interp.call("main", [])
+        runtime_sites = {a.site for a in interp.memory.allocations if a.site >= 0}
+        assert runtime_sites == set(table.keys())
+
+
+class TestModRef:
+    def test_pure_reader_has_empty_mod(self):
+        module = compile_opt(
+            """
+            void* malloc(int n);
+            double dist(double* a, double* b, int n) {
+                double s = 0.0;
+                for (int i = 0; i < n; i++) {
+                    double d = a[i] - b[i];
+                    s += d * d;
+                }
+                return s;
+            }
+            int main(void) {
+                double* x = (double*)malloc(80);
+                double* y = (double*)malloc(80);
+                double r = dist(x, y, 10);
+                return (int)r;
+            }
+            """
+        )
+        pt = PointsTo(module)
+        summary = pt.modref["dist"]
+        assert not summary.mod
+        assert len(summary.ref) == 2
+
+    def test_transitive_mod_through_callee(self):
+        module = compile_opt(
+            """
+            void* malloc(int n);
+            void poke(int* p) { *p = 1; }
+            void outer(int* p) { poke(p); }
+            int main(void) {
+                int* a = (int*)malloc(4);
+                outer(a);
+                return *a;
+            }
+            """
+        )
+        pt = PointsTo(module)
+        assert pt.modref["outer"].mod == pt.modref["poke"].mod
+        assert len(pt.modref["outer"].mod) == 1
+
+    def test_calls_to_pure_functions_independent(self):
+        module = compile_opt(
+            """
+            void* malloc(int n);
+            int probe(int* p, int i) { return p[i]; }
+            int main(void) {
+                int* a = (int*)malloc(40);
+                int x = probe(a, 0);
+                int y = probe(a, 1);
+                return x + y;
+            }
+            """
+        )
+        pt = PointsTo(module)
+        calls = [
+            i for i in module.get_function("main").instructions()
+            if isinstance(i, Call) and i.callee.name == "probe"
+        ]
+        assert len(calls) == 2
+        assert not pt.call_mod(calls[0])
+        assert pt.call_ref(calls[0])

@@ -1,0 +1,126 @@
+"""Tests for points-to field sensitivity and pointer laundering."""
+
+from repro.analysis import PointsTo
+from repro.frontend import compile_c
+from repro.ir import Load, Store
+from repro.transforms import optimize_module
+
+
+def analyze(source):
+    module = compile_c(source)
+    optimize_module(module)
+    return module, PointsTo(module)
+
+
+class TestFieldSensitivity:
+    def test_distinct_fields_keep_distinct_pointees(self):
+        module, pt = analyze(
+            """
+            typedef struct pair { int* left; int* right; } pair_t;
+            void* malloc(int n);
+            int main(void) {
+                pair_t* p = (pair_t*)malloc(sizeof(pair_t));
+                int* a = (int*)malloc(4);
+                int* b = (int*)malloc(4);
+                p->left = a;
+                p->right = b;
+                int* got_left = p->left;
+                int* got_right = p->right;
+                *got_left = 1;
+                *got_right = 2;
+                return *a;
+            }
+            """
+        )
+        main = module.get_function("main")
+        stores = [s for s in main.instructions()
+                  if isinstance(s, Store) and s.value.type.is_integer]
+        assert len(stores) == 2
+        # Field-sensitive: left-load points only to a, right-load only to b.
+        assert len(pt.points_to(stores[0].pointer)) == 1
+        assert len(pt.points_to(stores[1].pointer)) == 1
+        assert not pt.may_alias(stores[0].pointer, stores[1].pointer)
+
+    def test_em3d_style_two_levels(self):
+        # The exact shape that forced field sensitivity: a struct holding
+        # a pointer array whose elements point into another region.
+        module, pt = analyze(
+            """
+            typedef struct node { double v; struct node** fr; struct node* nx; } node_t;
+            void* malloc(int n);
+            int main(void) {
+                node_t* other = (node_t*)malloc(sizeof(node_t));
+                node_t* mine = (node_t*)malloc(sizeof(node_t));
+                mine->fr = (node_t**)malloc(4 * sizeof(node_t*));
+                mine->fr[0] = other;
+                node_t* f = mine->fr[0];
+                f->v = 1.0;
+                mine->v = 2.0;
+                return 0;
+            }
+            """
+        )
+        main = module.get_function("main")
+        fstores = [s for s in main.instructions()
+                   if isinstance(s, Store) and s.value.type.is_float]
+        assert len(fstores) == 2
+        assert not pt.may_alias(fstores[0].pointer, fstores[1].pointer)
+
+    def test_unknown_offset_store_widens_reads(self):
+        module, pt = analyze(
+            """
+            void* malloc(int n);
+            int main(int i) {
+                int** tab = (int**)malloc(8 * sizeof(int*));
+                int* x = (int*)malloc(4);
+                tab[i] = x;            /* variable index: unknown field */
+                int* y = tab[2];       /* constant index read */
+                *y = 5;
+                return *x;
+            }
+            """
+        )
+        main = module.get_function("main")
+        store = next(s for s in main.instructions()
+                     if isinstance(s, Store) and s.value.type.is_integer)
+        # y may see x (the unknown-offset store covers every slot).
+        objs = pt.points_to(store.pointer)
+        assert len(objs) == 1  # {x}
+
+
+class TestPointerLaundering:
+    def test_pointer_through_unsigned_global(self):
+        # The kargs pattern every kernel uses: ptr -> unsigned global ->
+        # load -> cast back. Points-to must survive the round trip.
+        module, pt = analyze(
+            """
+            void* malloc(int n);
+            unsigned slot;
+            void put(void) { slot = (unsigned)(int*)malloc(4); }
+            int take(void) { int* p = (int*)slot; *p = 9; return *p; }
+            int main(void) { put(); return take(); }
+            """
+        )
+        take = module.get_function("take")
+        store = next(s for s in take.instructions() if isinstance(s, Store))
+        objs = pt.points_to(store.pointer)
+        assert objs, "laundered pointer lost its points-to set"
+        assert all(o.kind == "malloc" for o in objs)
+
+    def test_pointer_through_int_phi(self):
+        module, pt = analyze(
+            """
+            void* malloc(int n);
+            int main(int c) {
+                unsigned p;
+                if (c) p = (unsigned)(int*)malloc(4);
+                else p = (unsigned)(int*)malloc(4);
+                int* q = (int*)p;
+                *q = 1;
+                return *q;
+            }
+            """
+        )
+        main = module.get_function("main")
+        store = next(s for s in main.instructions() if isinstance(s, Store))
+        assert len(pt.points_to(store.pointer)) == 2

@@ -1,0 +1,93 @@
+"""Property tests for Tarjan SCC and graph condensation."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Condensation, condense, tarjan_scc
+
+
+@st.composite
+def digraph(draw):
+    n = draw(st.integers(1, 12))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=30,
+        )
+    )
+    return n, edges
+
+
+class TestTarjan:
+    @given(digraph())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_networkx(self, graph):
+        n, edges = graph
+        succ = {}
+        for a, b in edges:
+            succ.setdefault(a, []).append(b)
+        ours = tarjan_scc(range(n), succ)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(g)}
+        assert {frozenset(c) for c in ours} == theirs
+
+    @given(digraph())
+    @settings(max_examples=80, deadline=None)
+    def test_partition_property(self, graph):
+        n, edges = graph
+        succ = {}
+        for a, b in edges:
+            succ.setdefault(a, []).append(b)
+        comps = tarjan_scc(range(n), succ)
+        seen = [node for comp in comps for node in comp]
+        assert sorted(seen) == list(range(n))
+
+    def test_reverse_topological_order(self):
+        # Tarjan emits SCCs in reverse topological order: a -> b means
+        # b's component appears before a's.
+        succ = {0: [1], 1: [2], 2: []}
+        comps = tarjan_scc([0, 1, 2], succ)
+        position = {c[0]: i for i, c in enumerate(comps)}
+        assert position[2] < position[1] < position[0]
+
+    def test_cycle_collapsed(self):
+        succ = {0: [1], 1: [2], 2: [0], 3: []}
+        comps = tarjan_scc([0, 1, 2, 3], succ)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 3]
+
+
+class TestCondensation:
+    @given(digraph())
+    @settings(max_examples=80, deadline=None)
+    def test_condensation_is_acyclic(self, graph):
+        n, edges = graph
+        cond = condense(range(n), [(a, b, False) for a, b in edges])
+        order = cond.topological_order()  # raises if cyclic
+        position = {c: i for i, c in enumerate(order)}
+        for (s, d) in cond.edges:
+            assert position[s] < position[d]
+
+    @given(digraph())
+    @settings(max_examples=50, deadline=None)
+    def test_component_of_consistent(self, graph):
+        n, edges = graph
+        cond = condense(range(n), [(a, b, False) for a, b in edges])
+        for i, comp in enumerate(cond.components):
+            for node in comp:
+                assert cond.component_of[node] == i
+
+    def test_carried_flag_aggregated(self):
+        cond = condense(
+            [0, 1],
+            [(0, 1, False), (0, 1, True)],
+        )
+        assert cond.edges[(cond.component_of[0], cond.component_of[1])] is True
+
+    def test_self_edges_do_not_create_dag_edges(self):
+        cond = condense([0], [(0, 0, True)])
+        assert not cond.edges
+        assert len(cond.components) == 1

@@ -1,0 +1,47 @@
+"""Tests for region shape declarations (the Ghiya–Hendren stand-in)."""
+
+from repro.analysis import EXTERNAL, AbstractObject, RegionShapes, Shape, conservative
+
+
+class TestShapes:
+    def test_default_is_cyclic(self):
+        shapes = RegionShapes()
+        obj = AbstractObject("malloc", 0)
+        assert shapes.shape_of(obj) is Shape.CYCLIC
+        assert not shapes.shape_of(obj).is_acyclic
+
+    def test_declared_shape_returned(self):
+        shapes = RegionShapes().declare(3, Shape.LIST)
+        assert shapes.shape_of(AbstractObject("malloc", 3)) is Shape.LIST
+        assert shapes.shape_of(AbstractObject("malloc", 4)) is Shape.CYCLIC
+
+    def test_declare_chains(self):
+        shapes = RegionShapes().declare(0, Shape.TREE).declare(1, Shape.DAG)
+        assert shapes.shape_of(AbstractObject("malloc", 0)) is Shape.TREE
+        assert shapes.shape_of(AbstractObject("malloc", 1)) is Shape.DAG
+
+    def test_acyclicity_lattice(self):
+        assert Shape.LIST.is_acyclic
+        assert Shape.TREE.is_acyclic
+        assert Shape.DAG.is_acyclic
+        assert not Shape.CYCLIC.is_acyclic
+
+    def test_external_always_cyclic(self):
+        shapes = RegionShapes().declare(-1, Shape.LIST)
+        assert shapes.shape_of(EXTERNAL) is Shape.CYCLIC
+
+    def test_globals_and_allocas_acyclic(self):
+        shapes = RegionShapes()
+        assert shapes.shape_of(AbstractObject("global", 0, "g")).is_acyclic
+        assert shapes.shape_of(AbstractObject("alloca", 0, "x")).is_acyclic
+
+    def test_all_acyclic_requires_every_object(self):
+        shapes = RegionShapes().declare(0, Shape.LIST)
+        listy = AbstractObject("malloc", 0)
+        cyclic = AbstractObject("malloc", 1)
+        assert shapes.all_acyclic([listy])
+        assert not shapes.all_acyclic([listy, cyclic])
+
+    def test_conservative_factory(self):
+        shapes = conservative()
+        assert shapes.shape_of(AbstractObject("malloc", 0)) is Shape.CYCLIC

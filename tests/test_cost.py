@@ -1,0 +1,128 @@
+"""Tests for the area and power/energy cost models."""
+
+import pytest
+
+from repro.cost import (
+    accelerator_area,
+    function_aluts,
+    power_report,
+    single_module_area,
+)
+from repro.frontend import compile_c
+from repro.harness import run_backend
+from repro.kernels import EM3D, KERNELS_BY_NAME
+from repro.pipeline import cgpa_compile
+from repro.rtl import cost_of
+from repro.transforms import optimize_module
+
+
+def small_fn(source, name="f"):
+    module = compile_c(source)
+    optimize_module(module)
+    return module.get_function(name)
+
+
+class TestArea:
+    def test_more_ops_more_aluts(self):
+        small = small_fn("int f(int a) { return a + 1; }")
+        big = small_fn("int f(int a) { return a * a + a / 3 - (a ^ 7); }")
+        assert function_aluts(big) > function_aluts(small)
+
+    def test_fp_double_costs_more_than_int(self):
+        fint = small_fn("int f(int a, int b) { return a + b; }")
+        fdbl = small_fn("double f(double a, double b) { return a + b; }")
+        assert function_aluts(fdbl) > function_aluts(fint)
+
+    def test_callee_included_once(self):
+        module = compile_c(
+            "int helper(int x) { return x * x + 3; }"
+            "int f(int a) { return helper(a) + helper(a + 1); }"
+        )
+        optimize_module(module)
+        f = module.get_function("f")
+        helper = module.get_function("helper")
+        assert function_aluts(f) > function_aluts(helper)
+        # Two call sites share one submodule instance (LegUp-style
+        # function sharing): area grows by ~one helper, not two.
+        assert function_aluts(f) < 2 * function_aluts(helper) + 400
+
+    def test_recursion_terminates(self):
+        fn = small_fn("int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); }")
+        assert function_aluts(fn) > 0
+
+    def test_parallel_workers_multiply_area(self):
+        spec = EM3D
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        compiled = cgpa_compile(
+            module, "kernel", shapes=spec.shapes_for(module)
+        )
+        tasks = compiled.result.tasks
+        counts = [s.n_workers for s in compiled.spec.stages]
+        area4 = accelerator_area(tasks, counts)
+        area1 = accelerator_area(tasks, [1] * len(tasks))
+        assert area4.total_aluts > 2 * area1.total_aluts
+
+    def test_fifo_bram_accounted(self):
+        spec = EM3D
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        compiled = cgpa_compile(module, "kernel", shapes=spec.shapes_for(module))
+        area = accelerator_area(
+            compiled.result.tasks,
+            [s.n_workers for s in compiled.spec.stages],
+            compiled.result.channels,
+        )
+        assert area.bram_bits > 0
+        assert area.fifo_aluts > 0
+
+    def test_single_module_area_smaller_than_pipeline(self):
+        run_legup = run_backend(KERNELS_BY_NAME["ks"], "legup")
+        run_cgpa = run_backend(KERNELS_BY_NAME["ks"], "cgpa-p1")
+        assert run_cgpa.aluts > run_legup.aluts
+
+
+class TestPower:
+    def test_energy_is_power_times_time(self):
+        result = run_backend(KERNELS_BY_NAME["ks"], "legup")
+        report = result.power
+        assert report.total_energy_j == pytest.approx(
+            report.total_power_w * report.time_s
+        )
+        assert report.total_power_w > report.static_power_w > 0
+
+    def test_more_workers_more_power(self):
+        p1 = run_backend(EM3D, "cgpa-p1", n_workers=1)
+        p4 = run_backend(EM3D, "cgpa-p1", n_workers=4)
+        assert p4.power_mw > p1.power_mw
+        # ...but less or comparable energy (it finishes much sooner).
+        assert p4.energy_uj < 1.5 * p1.energy_uj
+
+    def test_cgpa_burns_more_power_than_legup(self):
+        legup = run_backend(KERNELS_BY_NAME["Hash-indexing"], "legup")
+        cgpa = run_backend(KERNELS_BY_NAME["Hash-indexing"], "cgpa-p1")
+        assert cgpa.power_mw > legup.power_mw
+
+
+class TestOpCosts:
+    def test_division_slowest_int_op(self):
+        from repro.ir import BinaryOp, Constant, I32
+        div = BinaryOp("sdiv", Constant(I32, 1), Constant(I32, 1))
+        add = BinaryOp("add", Constant(I32, 1), Constant(I32, 1))
+        assert cost_of(div).latency > cost_of(add).latency
+        assert cost_of(div).aluts > cost_of(add).aluts
+
+    def test_double_fp_slower_than_single(self):
+        from repro.ir import BinaryOp, Constant, F32, F64
+        f32 = BinaryOp("fadd", Constant(F32, 1.0), Constant(F32, 1.0))
+        f64 = BinaryOp("fadd", Constant(F64, 1.0), Constant(F64, 1.0))
+        assert cost_of(f64).latency > cost_of(f32).latency
+        assert cost_of(f64).aluts > cost_of(f32).aluts
+
+    def test_blocking_classification(self):
+        from repro.ir import Alloca, Channel, Consume, I32, Load
+        from repro.rtl import is_blocking
+        slot = Alloca(I32)
+        assert is_blocking(Load(slot))
+        assert is_blocking(Consume(Channel(0, "c", I32, 0, 1), I32))
+        assert not is_blocking(slot)

@@ -1,0 +1,78 @@
+"""Unit tests for the C-subset lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.frontend import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo _bar2") == [
+            ("keyword", "int"), ("ident", "foo"), ("ident", "_bar2"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 0x1F 3.25 1e3 2.5e-2 1.0f") == [
+            ("int", "42"), ("int", "0x1F"), ("float", "3.25"),
+            ("float", "1e3"), ("float", "2.5e-2"), ("float", "1.0f"),
+        ]
+
+    def test_unsigned_suffix_stripped(self):
+        assert kinds("42u 7UL")[0] == ("int", "42")
+
+    def test_char_literals_become_ints(self):
+        assert kinds("'a' '\\n'") == [("int", str(ord("a"))), ("int", "10")]
+
+    def test_operators_maximal_munch(self):
+        assert [t for _, t in kinds("a->b ++ -- <<= >= == && ||")] == [
+            "a", "->", "b", "++", "--", "<<=", ">=", "==", "&&", "||",
+        ]
+
+    def test_arrow_not_split(self):
+        toks = kinds("p->next")
+        assert ("op", "->") in toks
+
+    def test_comments_skipped(self):
+        src = "int a; // line comment\n/* block\ncomment */ int b;"
+        assert [t for _, t in kinds(src)] == ["int", "a", ";", "int", "b", ";"]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3 and tokens[2].column == 3
+
+    def test_line_tracking_through_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+
+class TestErrors:
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(LexerError):
+            tokenize("int $x;")
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexerError):
+            tokenize("1e+")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("int a;\n  $")
+        except LexerError as e:
+            assert e.line == 2 and e.column == 3
+        else:
+            pytest.fail("expected LexerError")

@@ -1,0 +1,307 @@
+"""End-to-end frontend tests: compile C, verify IR, execute, compare.
+
+These are the frontend's strongest tests — every program is run through
+the interpreter and checked against the same computation done in Python.
+"""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import compile_c
+from repro.interp import Interpreter, Memory
+from repro.ir import verify_module
+
+
+def run(source, fn="main", args=(), memory=None):
+    module = compile_c(source)
+    verify_module(module)
+    return Interpreter(module, memory).call(fn, list(args))
+
+
+class TestArithmetic:
+    def test_int_expressions(self):
+        src = "int main(int a, int b) { return (a + b) * (a - b) / 2 + a % b; }"
+        assert run(src, args=[9, 4]) == (9 + 4) * (9 - 4) // 2 + 9 % 4
+
+    def test_double_expressions(self):
+        src = "double main(double x) { return x * x + 0.5 * x - 1.0; }"
+        assert run(src, args=[2.0]) == 2.0 * 2.0 + 0.5 * 2.0 - 1.0
+
+    def test_mixed_int_double_promotion(self):
+        src = "double main(int a, double b) { return a / 2 + b * a; }"
+        assert run(src, args=[7, 0.5]) == 7 // 2 + 0.5 * 7
+
+    def test_bitwise_and_shifts(self):
+        src = "int main(int a, int b) { return ((a & b) | (a ^ 3)) << 2 >> 1; }"
+        a, b = 29, 23
+        assert run(src, args=[a, b]) == ((a & b) | (a ^ 3)) << 2 >> 1
+
+    def test_unary_ops(self):
+        src = "int main(int a) { return -a + ~a + !a; }"
+        assert run(src, args=[5]) == -5 + ~5 + 0
+
+    def test_comparison_yields_int(self):
+        src = "int main(int a, int b) { int c = a < b; return c + (a == b); }"
+        assert run(src, args=[1, 2]) == 1
+
+    def test_float_literal_single(self):
+        src = "float main(void) { return 1.5f; }"
+        assert run(src) == 1.5
+
+    def test_sizeof(self):
+        src = (
+            "typedef struct n { double v; int c; } n_t;\n"
+            "int main(void) { return sizeof(n_t) + sizeof(int) + sizeof(double*); }"
+        )
+        assert run(src) == 16 + 4 + 4
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = """
+        int main(int x) {
+            if (x > 10) return 3;
+            else if (x > 5) return 2;
+            else return 1;
+        }
+        """
+        assert run(src, args=[20]) == 3
+        assert run(src, args=[7]) == 2
+        assert run(src, args=[1]) == 1
+
+    def test_while_loop(self):
+        src = """
+        int main(int n) {
+            int s = 0;
+            while (n > 0) { s += n; n--; }
+            return s;
+        }
+        """
+        assert run(src, args=[10]) == 55
+
+    def test_for_loop_with_break_continue(self):
+        src = """
+        int main(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) continue;
+                if (i > 20) break;
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert run(src, args=[100]) == sum(i for i in range(100) if i % 2 and i <= 20)
+
+    def test_do_while(self):
+        src = """
+        int main(int n) {
+            int c = 0;
+            do { c++; n /= 2; } while (n > 0);
+            return c;
+        }
+        """
+        assert run(src, args=[100]) == 7  # 100,50,25,12,6,3,1
+
+    def test_short_circuit_and_guards_null(self):
+        src = """
+        typedef struct n { int x; } n_t;
+        int main(n_t* p) { if (p && p->x > 0) return 1; return 0; }
+        """
+        assert run(src, args=[0]) == 0  # null pointer: must not dereference
+
+    def test_short_circuit_or(self):
+        src = "int main(int a, int b) { return a == 1 || b == 1; }"
+        assert run(src, args=[0, 1]) == 1
+        assert run(src, args=[0, 0]) == 0
+
+    def test_ternary(self):
+        src = "int main(int a, int b) { return a > b ? a : b; }"
+        assert run(src, args=[3, 9]) == 9
+
+    def test_nested_loops(self):
+        src = """
+        int main(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < i; j++)
+                    s += i * j;
+            return s;
+        }
+        """
+        n = 8
+        assert run(src, args=[n]) == sum(i * j for i in range(n) for j in range(i))
+
+
+class TestPointersAndStructs:
+    def test_linked_list_traversal(self):
+        src = """
+        typedef struct node { int value; struct node* next; } node_t;
+        void* malloc(int n);
+        node_t* build(int n) {
+            node_t* head = 0;
+            for (int i = 0; i < n; i++) {
+                node_t* fresh = (node_t*)malloc(sizeof(node_t));
+                fresh->value = i;
+                fresh->next = head;
+                head = fresh;
+            }
+            return head;
+        }
+        int main(int n) {
+            node_t* list = build(n);
+            int s = 0;
+            for ( ; list; list = list->next) s += list->value;
+            return s;
+        }
+        """
+        assert run(src, args=[10]) == 45
+
+    def test_array_parameter_indexing(self):
+        src = """
+        void* malloc(int n);
+        int main(int n) {
+            int* a = (int*)malloc(n * sizeof(int));
+            for (int i = 0; i < n; i++) a[i] = i * i;
+            int s = 0;
+            for (int i = 0; i < n; i++) s += a[i];
+            return s;
+        }
+        """
+        assert run(src, args=[6]) == sum(i * i for i in range(6))
+
+    def test_local_array(self):
+        src = """
+        int main(void) {
+            int buf[4];
+            for (int i = 0; i < 4; i++) buf[i] = i + 1;
+            return buf[0] + buf[3];
+        }
+        """
+        assert run(src) == 5
+
+    def test_pointer_arithmetic(self):
+        src = """
+        void* malloc(int n);
+        int main(void) {
+            int* a = (int*)malloc(12);
+            *a = 1; *(a + 1) = 2; *(a + 2) = 4;
+            int* p = a;
+            p++;
+            return *p + *(p + 1);
+        }
+        """
+        assert run(src) == 6
+
+    def test_pointer_difference(self):
+        src = """
+        void* malloc(int n);
+        int main(void) {
+            double* a = (double*)malloc(80);
+            double* b = a + 7;
+            return b - a;
+        }
+        """
+        assert run(src) == 7
+
+    def test_struct_member_through_pointer_chain(self):
+        src = """
+        typedef struct inner { double v; } inner_t;
+        typedef struct outer { inner_t* in; } outer_t;
+        void* malloc(int n);
+        double main(void) {
+            outer_t* o = (outer_t*)malloc(sizeof(outer_t));
+            o->in = (inner_t*)malloc(sizeof(inner_t));
+            o->in->v = 6.25;
+            return o->in->v;
+        }
+        """
+        assert run(src) == 6.25
+
+    def test_address_of_local(self):
+        src = """
+        void bump(int* p) { *p += 5; }
+        int main(void) { int x = 2; bump(&x); return x; }
+        """
+        assert run(src) == 7
+
+    def test_struct_array_field(self):
+        src = """
+        typedef struct s { int tab[4]; int n; } s_t;
+        void* malloc(int n);
+        int main(void) {
+            s_t* p = (s_t*)malloc(sizeof(s_t));
+            for (int i = 0; i < 4; i++) p->tab[i] = 10 * i;
+            p->n = 2;
+            return p->tab[p->n];
+        }
+        """
+        assert run(src) == 20
+
+
+class TestGlobals:
+    def test_global_scalar_read_write(self):
+        src = """
+        int counter = 5;
+        void bump(void) { counter += 3; }
+        int main(void) { bump(); bump(); return counter; }
+        """
+        assert run(src) == 11
+
+    def test_global_array_init(self):
+        src = """
+        double coef[3] = {0.25, 0.5, 0.25};
+        double main(void) { return coef[0] + coef[1] + coef[2]; }
+        """
+        assert run(src) == 1.0
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }"
+        assert run(src, fn="fib", args=[10]) == 55
+
+    def test_argument_conversion(self):
+        src = """
+        double half(double x) { return x / 2.0; }
+        double main(int n) { return half(n); }
+        """
+        assert run(src, args=[9]) == 4.5
+
+    def test_void_function_falls_off_end(self):
+        src = "void nop(void) { } int main(void) { nop(); return 3; }"
+        assert run(src) == 3
+
+
+class TestSemanticErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(void) { return nope; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(void) { return missing(1); }")
+
+    def test_bad_argument_count(self):
+        with pytest.raises(SemanticError):
+            compile_c("int f(int a) { return a; } int main(void) { return f(); }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(void) { 1 = 2; return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(void) { break; return 0; }")
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(int x) { return x.field; }")
+
+    def test_incompatible_pointer_arith(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(int* p, int* q) { return (int)(p + q); }")
+
+    def test_redeclaration_in_scope(self):
+        with pytest.raises(SemanticError):
+            compile_c("int main(void) { int x; int x; return 0; }")

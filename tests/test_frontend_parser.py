@@ -1,0 +1,172 @@
+"""Unit tests for the C-subset parser (AST shape checks)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse
+from repro.frontend import ast_nodes as ast
+
+
+class TestTopLevel:
+    def test_function_with_params(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        (fn,) = unit.decls
+        assert isinstance(fn, ast.FunctionDecl)
+        assert fn.name == "add"
+        assert [p.name for p in fn.params] == ["a", "b"]
+        assert isinstance(fn.body.body[0], ast.ReturnStmt)
+
+    def test_prototype(self):
+        unit = parse("void* malloc(int n);")
+        (fn,) = unit.decls
+        assert fn.body is None
+        assert fn.return_type.pointer_depth == 1
+
+    def test_void_params(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.decls[0].params == []
+
+    def test_typedef_struct(self):
+        unit = parse("typedef struct node { int x; struct node* next; } node_t;")
+        (s,) = unit.decls
+        assert isinstance(s, ast.StructDecl)
+        assert s.tag == "node"
+        assert s.typedef_name == "node_t"
+        assert [f.name for f in s.fields] == ["x", "next"]
+        assert s.fields[1].type.pointer_depth == 1
+
+    def test_anonymous_typedef_struct(self):
+        unit = parse("typedef struct { double v; } pt;")
+        (s,) = unit.decls
+        assert s.typedef_name == "pt" and s.tag == "pt"
+
+    def test_typedef_name_usable_afterwards(self):
+        unit = parse(
+            "typedef struct n { int x; } n_t;\n"
+            "int get(n_t* p) { return p->x; }"
+        )
+        fn = unit.decls[1]
+        assert fn.params[0].type.base == "n_t"
+
+    def test_global_array_with_init(self):
+        unit = parse("double coef[5] = {0.1, 0.2, 0.4, 0.2, 0.1};")
+        (g,) = unit.decls
+        assert isinstance(g, ast.GlobalDecl)
+        assert g.array_length == 5
+        assert g.init_values == [0.1, 0.2, 0.4, 0.2, 0.1]
+
+    def test_global_scalar(self):
+        unit = parse("int threshold = -3;")
+        assert unit.decls[0].init_values == [-3]
+
+
+class TestStatements:
+    def _body(self, code):
+        unit = parse("void f() { " + code + " }")
+        return unit.decls[0].body.body
+
+    def test_for_loop_with_decl(self):
+        (stmt,) = self._body("for (int i = 0; i < 10; i++) { }")
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert isinstance(stmt.cond, ast.BinaryExpr)
+        assert isinstance(stmt.step, ast.PostfixIncDec)
+
+    def test_for_loop_empty_clauses(self):
+        (stmt,) = self._body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_for_with_comma_step(self):
+        # The em3d outer loop: for ( ; nodelist; nodelist = nodelist->next, i++)
+        (stmt,) = self._body("for ( ; p; p = q, i++) ;")
+        assert isinstance(stmt.step, ast.BinaryExpr) and stmt.step.op == ","
+
+    def test_if_else(self):
+        (stmt,) = self._body("if (x) y = 1; else y = 2;")
+        assert isinstance(stmt, ast.IfStmt) and stmt.else_body is not None
+
+    def test_while_and_do_while(self):
+        stmts = self._body("while (a) a = a - 1; do b = 1; while (b);")
+        assert isinstance(stmts[0], ast.WhileStmt)
+        assert isinstance(stmts[1], ast.DoWhileStmt)
+
+    def test_local_array_decl(self):
+        (stmt,) = self._body("int buf[8];")
+        assert stmt.array_length == 8
+
+
+class TestExpressions:
+    def _expr(self, code):
+        unit = parse(f"void f() {{ x = {code}; }}")
+        return unit.decls[0].body.body[0].expr.rhs
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("a + b * c")
+        assert e.op == "+" and e.rhs.op == "*"
+
+    def test_precedence_cmp_over_and(self):
+        e = self._expr("a < b && c > d")
+        assert e.op == "&&" and e.lhs.op == "<" and e.rhs.op == ">"
+
+    def test_right_assoc_assignment(self):
+        unit = parse("void f() { a = b = 1; }")
+        outer = unit.decls[0].body.body[0].expr
+        assert isinstance(outer.rhs, ast.AssignExpr)
+
+    def test_member_chain(self):
+        e = self._expr("p->next->value")
+        assert isinstance(e, ast.MemberExpr) and e.member == "value"
+        assert isinstance(e.base, ast.MemberExpr) and e.base.arrow
+
+    def test_index_of_member(self):
+        e = self._expr("n->from_nodes[i]")
+        assert isinstance(e, ast.IndexExpr)
+        assert isinstance(e.base, ast.MemberExpr)
+
+    def test_cast_vs_parenthesised_expr(self):
+        unit = parse(
+            "typedef struct q { int x; } q_t;\n"
+            "void f(void* p) { q_t* a = (q_t*)p; int b = (x); }"
+        )
+        body = unit.decls[1].body.body
+        assert isinstance(body[0].init, ast.CastExpr)
+        assert isinstance(body[1].init, ast.Identifier)
+
+    def test_sizeof(self):
+        e = self._expr("sizeof(double)")
+        assert isinstance(e, ast.SizeofExpr)
+
+    def test_ternary(self):
+        e = self._expr("a ? b : c")
+        assert isinstance(e, ast.ConditionalExpr)
+
+    def test_call_args(self):
+        e = self._expr("hash(k, 17)")
+        assert isinstance(e, ast.CallExpr) and len(e.args) == 2
+
+    def test_unary_chain(self):
+        e = self._expr("-*p")
+        assert e.op == "-" and e.operand.op == "*"
+
+    def test_compound_assign(self):
+        unit = parse("void f() { v -= c * w; }")
+        e = unit.decls[0].body.body[0].expr
+        assert isinstance(e, ast.AssignExpr) and e.op == "-="
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 1 }")
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError):
+            parse("int f() { ); }")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse("int f() { if (x) { }")
+
+    def test_bad_struct_field(self):
+        with pytest.raises(ParseError):
+            parse("struct s { int; };")

@@ -1,0 +1,127 @@
+"""Tests for the experiment harness: backends, validation, experiments."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import CgpaError
+from repro.harness import (
+    BackendResult,
+    KernelRun,
+    figure4,
+    geomean,
+    run_backend,
+    run_kernel,
+    table2,
+    table3,
+)
+from repro.kernels import KERNELS_BY_NAME, KernelSpec
+
+#: A scaled-down ks for fast harness tests.
+SMALL_KS = dataclasses.replace(KERNELS_BY_NAME["ks"], setup_args=[10, 10])
+SMALL_HASH = dataclasses.replace(
+    KERNELS_BY_NAME["Hash-indexing"], setup_args=[64, 16]
+)
+
+
+class TestBackends:
+    def test_mips_backend_fields(self):
+        result = run_backend(SMALL_KS, "mips")
+        assert result.backend == "mips"
+        assert result.cycles > 0
+        assert result.mips_instructions > 0
+        assert result.area is None  # software has no ALUTs
+
+    def test_legup_backend_fields(self):
+        result = run_backend(SMALL_KS, "legup")
+        assert result.aluts > 0
+        assert result.power_mw > 0
+        assert result.energy_uj > 0
+        assert result.sim is not None
+
+    def test_cgpa_backend_fields(self):
+        result = run_backend(SMALL_KS, "cgpa-p1")
+        assert result.signature == "S-P-S"
+        assert result.aluts > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CgpaError):
+            run_backend(SMALL_KS, "gpu")
+
+    def test_cache_kwargs_forwarded(self):
+        fast = run_backend(SMALL_HASH, "legup", cache_kwargs={"miss_penalty": 2})
+        slow = run_backend(SMALL_HASH, "legup", cache_kwargs={"miss_penalty": 80})
+        assert slow.cycles > fast.cycles
+
+
+class TestKernelRun:
+    def test_checksums_cross_validated(self):
+        run = run_kernel(SMALL_KS, ("mips", "legup", "cgpa-p1"))
+        checksums = {r.checksum for r in run.results.values()}
+        assert len(checksums) == 1
+
+    def test_speedups(self):
+        run = run_kernel(SMALL_KS, ("mips", "legup", "cgpa-p1"))
+        assert run.speedup("cgpa-p1") > run.speedup("legup") > 1.0
+
+    def test_energy_efficiency_defined(self):
+        run = run_kernel(SMALL_KS, ("mips", "legup", "cgpa-p1"))
+        assert run.energy_efficiency("legup") > 0
+        assert run.energy_efficiency("cgpa-p1") > 0
+
+    def test_validation_catches_divergence(self):
+        run = run_kernel(SMALL_KS, ("mips", "legup"))
+        run.results["legup"] = dataclasses.replace(
+            run.results["legup"], checksum=run.results["legup"].checksum + 1.0
+        )
+        with pytest.raises(CgpaError, match="checksum"):
+            run.validate()
+
+    def test_p2_skipped_when_not_applicable(self):
+        run = run_kernel(SMALL_KS, ("mips", "cgpa-p2", "cgpa-p1"))
+        assert "cgpa-p2" not in run.results  # Table 2: ks has no P2
+
+
+class TestExperimentDrivers:
+    @pytest.fixture(scope="class")
+    def small_runs(self):
+        runs = {}
+        for name, spec in KERNELS_BY_NAME.items():
+            small = _shrink(spec)
+            backends = ["mips", "legup", "cgpa-p1"]
+            if spec.supports_p2:
+                backends.append("cgpa-p2")
+            runs[name] = run_kernel(small, tuple(backends))
+        return runs
+
+    def test_table2_rows(self, small_runs):
+        rows = table2(small_runs)
+        assert len(rows) == 5
+        assert all(r.p1_matches for r in rows)
+
+    def test_figure4_structure(self, small_runs):
+        data = figure4(small_runs)
+        assert len(data.rows) == 5
+        assert data.geomean_cgpa > data.geomean_legup > 1.0
+
+    def test_table3_rows(self, small_runs):
+        rows = table3(small_runs)
+        # 5 kernels x (legup + p1) + 2 P2 rows.
+        assert len(rows) == 12
+        assert all(r.aluts > 0 for r in rows)
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([5.0]) == pytest.approx(5.0)
+
+
+def _shrink(spec: KernelSpec) -> KernelSpec:
+    small_args = {
+        "K-means": [24, 3, 4],
+        "Hash-indexing": [64, 16],
+        "ks": [10, 10],
+        "em3d": [24, 24, 3],
+        "1D-Gaussblur": [3, 32],
+    }
+    return dataclasses.replace(spec, setup_args=small_args[spec.name])

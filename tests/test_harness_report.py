@@ -1,0 +1,73 @@
+"""Tests for report formatting (pure functions over synthetic rows)."""
+
+from repro.harness import (
+    Fig4Data,
+    Table2Row,
+    Table3Row,
+    TradeoffRow,
+    format_figure4,
+    format_scalability,
+    format_table2,
+    format_table3,
+    format_tradeoff,
+)
+from repro.harness.experiments import Fig4Row, ScalabilityPoint
+
+
+def fig4_data():
+    return Fig4Data([
+        Fig4Row("em3d", 1.5, 5.5, 1.7, 5.6),
+        Fig4Row("ks", 2.0, 7.0, 2.0, 6.5),
+    ])
+
+
+class TestFormatting:
+    def test_figure4_contains_geomeans(self):
+        text = format_figure4(fig4_data())
+        assert "GeoMean" in text
+        assert "em3d" in text and "ks" in text
+        assert "paper" in text.lower()
+
+    def test_figure4_geomean_math(self):
+        data = fig4_data()
+        assert abs(data.geomean_legup - (1.5 * 2.0) ** 0.5) < 1e-9
+        assert abs(data.geomean_cgpa - (5.5 * 7.0) ** 0.5) < 1e-9
+
+    def test_table2_match_column(self):
+        rows = [
+            Table2Row("em3d", "3D", "desc", "S-P", "S-P", "P", "P"),
+            Table2Row("bad", "x", "desc", "P-S", "S-P-S", None, None),
+        ]
+        text = format_table2(rows)
+        assert "yes" in text and "NO" in text
+
+    def test_table3_formats_missing_paper_values(self):
+        rows = [
+            Table3Row("k", "Legup", 100, 10.0, 1.0, 5.0, None, None, None),
+            Table3Row("k", "CGPA (P1)", 400, 40.0, 1.2, 4.0, 1696, 46.0, 22.1),
+        ]
+        text = format_table3(rows)
+        assert "1696" in text
+        assert "-" in text  # missing paper cells
+
+    def test_tradeoff_percentages(self):
+        row = TradeoffRow("em3d", 100, 110, 1.0, 1.2, 6.0, 11.0)
+        assert abs(row.perf_gain_pct - 10.0) < 1e-9
+        assert abs(row.energy_gain_pct - (1 - 1.0 / 1.2) * 100) < 1e-9
+        text = format_tradeoff([row])
+        assert "+10%" in text
+
+    def test_scalability_table(self):
+        points = [
+            ScalabilityPoint("em3d", 1, 1000, 1.0),
+            ScalabilityPoint("em3d", 4, 260, 1000 / 260),
+        ]
+        text = format_scalability(points)
+        assert "Workers" in text and "3.85x" in text
+
+    def test_tables_are_aligned(self):
+        text = format_figure4(fig4_data())
+        lines = [l for l in text.splitlines()[1:] if l.strip()]
+        header_len = len(lines[0])
+        # Separator row has the same width as the header.
+        assert lines[1].startswith("-")

@@ -1,0 +1,86 @@
+"""Tests for the Figure-1-style section annotation and the harness CLI."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.harness import annotate_sections, format_sections, section_summary
+from repro.harness.__main__ import main as harness_main
+from repro.kernels import EM3D, KERNELS_BY_NAME, KS
+from repro.pipeline import cgpa_compile
+from repro.transforms import optimize_module
+
+
+def compiled_for(spec):
+    module = compile_c(spec.source, spec.name)
+    optimize_module(module)
+    return cgpa_compile(
+        module, spec.accel_function, shapes=spec.shapes_for(module),
+        rewrite_parent=False,
+    )
+
+
+class TestSectionAnnotation:
+    def test_em3d_matches_figure1(self):
+        cp = compiled_for(EM3D)
+        lines = annotate_sections(cp.pdg, cp.spec)
+        summary = section_summary(lines)
+        # Fig 1(a): traversal is replicable, update is parallel, and em3d
+        # has no sequential section.
+        assert summary["R"] > 0
+        assert summary["P"] > summary["R"]
+        assert summary["S"] == 0
+        # The update store is parallel.
+        store_lines = [l for l in lines if l.text.startswith("store ")]
+        assert store_lines and all(l.section == "P" for l in store_lines)
+        # The traversal load (->next) is replicable.
+        assert any(
+            l.section == "R" and l.text.startswith("%") and "load" in l.text
+            for l in lines
+        )
+
+    def test_replicated_marker_set_for_kmeans_iv(self):
+        # K-means (Appendix A.1): the induction variable is duplicated
+        # into every worker.
+        cp = compiled_for(KERNELS_BY_NAME["K-means"])
+        lines = annotate_sections(cp.pdg, cp.spec)
+        replicated = [l for l in lines if l.replicated]
+        assert replicated
+        assert all(l.section == "R" for l in replicated)
+
+    def test_unreplicated_replicable_sections_in_ks(self):
+        # ks: both the heavyweight traversal and the max reduction are
+        # replicable by classification but placed in sequential stages.
+        cp = compiled_for(KS)
+        lines = annotate_sections(cp.pdg, cp.spec)
+        unreplicated_r = [
+            l for l in lines if l.section == "R" and not l.replicated
+        ]
+        assert unreplicated_r
+
+    def test_format_is_block_grouped(self):
+        cp = compiled_for(EM3D)
+        text = format_sections(annotate_sections(cp.pdg, cp.spec))
+        assert "for.cond:" in text
+        assert "[P" in text and "[R" in text
+        assert "duplicated into workers" in text
+
+    def test_every_instruction_annotated(self):
+        cp = compiled_for(EM3D)
+        lines = annotate_sections(cp.pdg)
+        assert len(lines) == len(cp.pdg.nodes)
+
+
+class TestCli:
+    def test_single_kernel(self, capsys):
+        assert harness_main(["--kernel", "ks"]) == 0
+        out = capsys.readouterr().out
+        assert "cgpa-p1" in out and "partition=S-P-S" in out
+
+    def test_worker_override(self, capsys):
+        assert harness_main(["--kernel", "ks", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cgpa-p1" in out
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            harness_main(["--kernel", "nonexistent"])

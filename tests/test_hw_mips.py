@@ -1,0 +1,82 @@
+"""Tests for the MIPS soft-core baseline cost model."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.hw import DirectMappedCache, run_on_mips
+from repro.interp import Interpreter, Memory
+from repro.transforms import optimize_module
+
+
+def run(source, entry, args, **kw):
+    module = compile_c(source)
+    optimize_module(module)
+    return run_on_mips(module, entry, args, Memory(), **kw)
+
+
+class TestCostModel:
+    def test_functional_result_exact(self):
+        src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }"
+        result = run(src, "f", [20])
+        assert result.return_value == sum(i * i for i in range(20))
+
+    def test_cycles_scale_with_work(self):
+        src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        small = run(src, "f", [10])
+        large = run(src, "f", [100])
+        assert 5 < large.cycles / small.cycles < 15
+
+    def test_fp_more_expensive_than_int(self):
+        int_src = "int f(int n) { int s = 1; for (int i = 0; i < n; i++) s = s * 3; return s; }"
+        fp_src = "double f(int n) { double s = 1.0; for (int i = 0; i < n; i++) s = s * 3.0; return (double)(int)s; }"
+        int_run = run(int_src, "f", [30])
+        fp_run = run(fp_src, "f", [30])
+        assert fp_run.cycles > int_run.cycles
+
+    def test_instruction_count_tracked(self):
+        result = run("int f(int a, int b) { return a + b; }", "f", [1, 2])
+        assert result.instructions >= 2  # add + ret
+
+    def test_cache_latency_charged(self):
+        src = (
+            "void* malloc(int n);"
+            "int f(int n) {"
+            "  int* a = (int*)malloc(n * 256);"
+            "  int s = 0;"
+            "  for (int i = 0; i < n; i++) s += a[i * 64];"
+            "  return s; }"
+        )
+        module = compile_c(src)
+        optimize_module(module)
+        fast = run_on_mips(module, "f", [32], Memory(),
+                           cache=DirectMappedCache(ports=1, miss_penalty=2))
+        module2 = compile_c(src)
+        optimize_module(module2)
+        slow = run_on_mips(module2, "f", [32], Memory(),
+                           cache=DirectMappedCache(ports=1, miss_penalty=100))
+        assert slow.cycles > fast.cycles + 32 * 80
+
+    def test_memory_writes_visible_afterwards(self):
+        src = (
+            "void* malloc(int n);"
+            "int g_out = 0;"
+            "void f(int v) { g_out = v * 3; }"
+        )
+        module = compile_c(src)
+        optimize_module(module)
+        memory = Memory()
+        probe = Interpreter(module, memory)
+        result = run_on_mips(module, "f", [5], memory,
+                             global_addresses=probe.global_addresses)
+        from repro.ir import I32
+        assert memory.load(probe.global_addresses["g_out"], I32) == 15
+
+    def test_shared_global_addresses(self):
+        # Without shared globals the model would re-place (and zero) them.
+        src = "double coef = 2.5; double f(double x) { return x * coef; }"
+        module = compile_c(src)
+        optimize_module(module)
+        setup = Interpreter(module)
+        result = run_on_mips(module, "f", [4.0], setup.memory,
+                             global_addresses=setup.global_addresses)
+        assert result.return_value == 10.0

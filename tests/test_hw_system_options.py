@@ -1,0 +1,62 @@
+"""Tests for accelerator-system options: private caches, reinvocation."""
+
+import dataclasses
+
+from repro.frontend import compile_c
+from repro.harness.runner import _setup_workload
+from repro.hw import AcceleratorSystem, DirectMappedCache
+from repro.kernels import KS
+from repro.pipeline import ReplicationPolicy, cgpa_compile
+from repro.transforms import optimize_module
+
+SMALL_KS = dataclasses.replace(KS, setup_args=[8, 8])
+
+
+def simulate(private_caches: bool, n_workers: int = 4):
+    module = compile_c(SMALL_KS.source, "ks")
+    optimize_module(module)
+    compiled = cgpa_compile(
+        module, "kernel", shapes=SMALL_KS.shapes_for(module),
+        policy=ReplicationPolicy.P1, n_workers=n_workers,
+    )
+    memory, globals_, args = _setup_workload(compiled.module, SMALL_KS)
+    system = AcceleratorSystem(
+        compiled.module, memory,
+        channels=compiled.result.channels,
+        cache=DirectMappedCache(ports=8),
+        global_addresses=globals_,
+        private_caches=private_caches,
+    )
+    sim = system.run("kernel", args)
+    return system, sim
+
+
+class TestPrivateCaches:
+    def test_results_identical_to_shared(self):
+        _, shared = simulate(False)
+        _, private = simulate(True)
+        assert shared.return_value == private.return_value
+
+    def test_private_slices_created_per_worker(self):
+        system, _ = simulate(True)
+        # 1 top + 1 seq + 4 parallel + 1 seq = 7 workers, each a slice.
+        assert len(system._private_cache_pool) == 7
+
+    def test_slices_are_single_ported_quarters(self):
+        system, _ = simulate(True)
+        for slice_ in system._private_cache_pool:
+            assert slice_.ports == 1
+            assert slice_.n_lines == system.cache.n_lines // 4
+
+    def test_shared_mode_uses_one_cache(self):
+        system, sim = simulate(False)
+        assert not system._private_cache_pool
+        assert sim.cache_stats.accesses > 0
+
+    def test_shared_cache_untouched_in_private_mode(self):
+        system, sim = simulate(True)
+        assert system.cache.stats.accesses == 0
+        total_private = sum(
+            s.stats.accesses for s in system._private_cache_pool
+        )
+        assert total_private > 0

@@ -1,0 +1,261 @@
+"""Unit tests for the IR interpreter against hand-built functions."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.interp import ChannelIO, Interpreter, Memory
+from repro.ir import (
+    BOOL,
+    F64,
+    I32,
+    Channel,
+    Consume,
+    FunctionType,
+    IRBuilder,
+    Module,
+    Produce,
+    StoreLiveout,
+    RetrieveLiveout,
+    StructType,
+    VOID,
+    ptr,
+    verify_module,
+)
+
+
+def build_add_function():
+    m = Module("m")
+    f = m.new_function("addmul", FunctionType(I32, [I32, I32]), ["a", "b"])
+    b = IRBuilder(f.new_block("entry"))
+    s = b.add(f.args[0], f.args[1])
+    p = b.mul(s, b.const_int(3))
+    b.ret(p)
+    verify_module(m)
+    return m
+
+
+def build_abs_function():
+    m = Module("m")
+    f = m.new_function("absval", FunctionType(I32, [I32]), ["x"])
+    entry = f.new_block("entry")
+    neg = f.new_block("neg")
+    out = f.new_block("out")
+    b = IRBuilder(entry)
+    is_neg = b.icmp("slt", f.args[0], b.const_int(0))
+    b.cond_branch(is_neg, neg, out)
+    b.set_block(neg)
+    negated = b.sub(b.const_int(0), f.args[0])
+    b.jump(out)
+    b.set_block(out)
+    phi = b.phi(I32)
+    phi.add_incoming(f.args[0], entry)
+    phi.add_incoming(negated, neg)
+    b.ret(phi)
+    verify_module(m)
+    return m
+
+
+def build_sum_loop():
+    """sum = 0; for (i = 0; i < n; i++) sum += i; return sum."""
+    m = Module("m")
+    f = m.new_function("sumloop", FunctionType(I32, [I32]), ["n"])
+    entry = f.new_block("entry")
+    header = f.new_block("header")
+    body = f.new_block("body")
+    exit_ = f.new_block("exit")
+    b = IRBuilder(entry)
+    b.jump(header)
+    b.set_block(header)
+    i_phi = b.phi(I32, "i")
+    sum_phi = b.phi(I32, "sum")
+    cond = b.icmp("slt", i_phi, f.args[0])
+    b.cond_branch(cond, body, exit_)
+    b.set_block(body)
+    new_sum = b.add(sum_phi, i_phi)
+    new_i = b.add(i_phi, b.const_int(1))
+    b.jump(header)
+    i_phi.add_incoming(b.const_int(0), entry)
+    i_phi.add_incoming(new_i, body)
+    sum_phi.add_incoming(b.const_int(0), entry)
+    sum_phi.add_incoming(new_sum, body)
+    b.set_block(exit_)
+    b.ret(sum_phi)
+    verify_module(m)
+    return m
+
+
+class TestBasics:
+    def test_straight_line(self):
+        m = build_add_function()
+        assert Interpreter(m).call("addmul", [2, 5]) == 21
+
+    def test_branches_and_phi(self):
+        m = build_abs_function()
+        interp = Interpreter(m)
+        assert interp.call("absval", [-7]) == 7
+        interp2 = Interpreter(m)
+        assert interp2.call("absval", [9]) == 9
+
+    def test_loop(self):
+        m = build_sum_loop()
+        assert Interpreter(m).call("sumloop", [10]) == 45
+        assert Interpreter(m).call("sumloop", [0]) == 0
+
+    def test_wrong_arity_rejected(self):
+        m = build_add_function()
+        with pytest.raises(InterpError):
+            Interpreter(m).call("addmul", [1])
+
+    def test_max_steps_guard(self):
+        m = build_sum_loop()
+        with pytest.raises(InterpError):
+            Interpreter(m, max_steps=10).call("sumloop", [1000])
+
+
+class TestIntegerSemantics:
+    def _run_binop(self, op, a, b, type_=I32):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(type_, [type_, type_]), ["a", "b"])
+        bld = IRBuilder(f.new_block("entry"))
+        bld.ret(bld.binop(op, f.args[0], f.args[1]))
+        return Interpreter(m).call("f", [a, b])
+
+    def test_wraparound(self):
+        assert self._run_binop("add", 2**31 - 1, 1) == -(2**31)
+        assert self._run_binop("mul", 2**30, 4) == 0
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert self._run_binop("sdiv", 7, 2) == 3
+        assert self._run_binop("sdiv", -7, 2) == -3
+        assert self._run_binop("srem", -7, 2) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            self._run_binop("sdiv", 1, 0)
+
+    def test_shift_ops(self):
+        assert self._run_binop("shl", 1, 5) == 32
+        assert self._run_binop("ashr", -8, 1) == -4
+
+    def test_unsigned_division(self):
+        # -1 as u32 is 4294967295
+        assert self._run_binop("udiv", -1, 2) == 2**31 - 1
+
+
+class TestMemoryOps:
+    def test_alloca_load_store(self):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(I32, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        slot = b.alloca(I32)
+        b.store(b.const_int(42), slot)
+        b.ret(b.load(slot))
+        assert Interpreter(m).call("f", []) == 42
+
+    def test_struct_field_access(self):
+        m = Module("m")
+        node = StructType("pnode", [("x", I32), ("y", F64)])
+        f = m.new_function("f", FunctionType(F64, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        slot = b.alloca(node)
+        b.store(b.const_float(2.5), b.struct_gep(slot, 1))
+        b.ret(b.load(b.struct_gep(slot, 1)))
+        assert Interpreter(m).call("f", []) == 2.5
+
+    def test_array_indexing_via_gep(self):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(I32, [I32]), ["i"])
+        b = IRBuilder(f.new_block("entry"))
+        base = b.alloca(I32)  # we'll index off it like int*
+        for k in range(4):
+            b.store(b.const_int(k * k), b.gep(base, [b.const_int(k)]))
+        b.ret(b.load(b.gep(base, [f.args[0]])))
+        assert Interpreter(m).call("f", [3]) == 9
+
+    def test_malloc_builtin(self):
+        m = Module("m")
+        malloc = m.new_function("malloc", FunctionType(ptr(I32), [I32]), ["n"])
+        f = m.new_function("f", FunctionType(I32, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        buf = b.call(malloc, [b.const_int(64)])
+        b.store(b.const_int(7), b.gep(buf, [b.const_int(5)]))
+        b.ret(b.load(b.gep(buf, [b.const_int(5)])))
+        interp = Interpreter(m)
+        assert interp.call("f", []) == 7
+        sites = {a.site for a in interp.memory.allocations if a.site >= 0}
+        assert sites == {0}
+
+    def test_null_deref_raises(self):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(I32, [ptr(I32)]), ["p"])
+        b = IRBuilder(f.new_block("entry"))
+        b.ret(b.load(f.args[0]))
+        with pytest.raises(InterpError):
+            Interpreter(m).call("f", [0])
+
+
+class TestCalls:
+    def test_nested_calls(self):
+        m = Module("m")
+        sq = m.new_function("sq", FunctionType(I32, [I32]), ["x"])
+        b = IRBuilder(sq.new_block("entry"))
+        b.ret(b.mul(sq.args[0], sq.args[0]))
+        f = m.new_function("f", FunctionType(I32, [I32]), ["x"])
+        b = IRBuilder(f.new_block("entry"))
+        once = b.call(sq, [f.args[0]])
+        twice = b.call(sq, [once])
+        b.ret(twice)
+        assert Interpreter(m).call("f", [3]) == 81
+
+    def test_undefined_external_call_raises(self):
+        m = Module("m")
+        ext = m.new_function("mystery", FunctionType(I32, []), [])
+        f = m.new_function("f", FunctionType(I32, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        b.ret(b.call(ext, []))
+        with pytest.raises(InterpError):
+            Interpreter(m).call("f", [])
+
+
+class TestChannelPrimitives:
+    def test_produce_consume_roundtrip(self):
+        m = Module("m")
+        chan = Channel(0, "c", I32, 0, 1, n_channels=2)
+        prod = m.new_function("prod", FunctionType(VOID, [I32]), ["v"])
+        b = IRBuilder(prod.new_block("entry"))
+        b.block.append(Produce(chan, b.const_int(1), prod.args[0]))
+        b.ret()
+        cons = m.new_function("cons", FunctionType(I32, []), [])
+        b = IRBuilder(cons.new_block("entry"))
+        got = b.block.append(Consume(chan, I32))
+        b.ret(got)
+        io = ChannelIO()
+        mem = Memory()
+        Interpreter(m, mem, channel_io=io).call("prod", [99])
+        reader = Interpreter(m, mem, channel_io=io, worker_id=1)
+        assert reader.call("cons", []) == 99
+
+    def test_liveout_registers(self):
+        m = Module("m")
+        w = m.new_function("w", FunctionType(VOID, [I32]), ["v"])
+        b = IRBuilder(w.new_block("entry"))
+        b.block.append(StoreLiveout(4, w.args[0]))
+        b.ret()
+        r = m.new_function("r", FunctionType(I32, []), [])
+        b = IRBuilder(r.new_block("entry"))
+        got = b.block.append(RetrieveLiveout(4, I32))
+        b.ret(got)
+        io = ChannelIO()
+        mem = Memory()
+        Interpreter(m, mem, channel_io=io).call("w", [123])
+        assert Interpreter(m, mem, channel_io=io).call("r", []) == 123
+
+    def test_primitive_without_io_raises(self):
+        m = Module("m")
+        chan = Channel(0, "c", I32, 0, 1)
+        f = m.new_function("f", FunctionType(I32, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        got = b.block.append(Consume(chan, I32))
+        b.ret(got)
+        with pytest.raises(InterpError):
+            Interpreter(m).call("f", [])

@@ -1,0 +1,166 @@
+"""Unit and property tests for the byte-addressable memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InterpError
+from repro.interp import HEAP_BASE, Memory, round_f32, to_unsigned, wrap_int
+from repro.ir import F32, F64, I8, I16, I32, I64, StructType, ptr
+
+
+class TestAllocator:
+    def test_null_page_reserved(self):
+        mem = Memory()
+        addr = mem.malloc(16)
+        assert addr >= HEAP_BASE
+
+    def test_allocations_do_not_overlap(self):
+        mem = Memory()
+        spans = []
+        for size in (1, 7, 8, 64, 3):
+            addr = mem.malloc(size)
+            spans.append((addr, addr + size))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_alignment(self):
+        mem = Memory()
+        for _ in range(5):
+            assert mem.malloc(3, align=8) % 8 == 0
+
+    def test_site_recorded(self):
+        mem = Memory()
+        mem.malloc(8, site=42)
+        assert mem.allocations[-1].site == 42
+
+    def test_allocation_containing(self):
+        mem = Memory()
+        addr = mem.malloc(16, site=7)
+        found = mem.allocation_containing(addr + 8)
+        assert found is not None and found.site == 7
+        assert mem.allocation_containing(4) is None
+
+    def test_negative_malloc_rejected(self):
+        with pytest.raises(InterpError):
+            Memory().malloc(-1)
+
+    def test_growth(self):
+        mem = Memory(size=4096)
+        addr = mem.malloc(1 << 20)
+        mem.store(addr + (1 << 20) - 4, I32, 5)
+        assert mem.load(addr + (1 << 20) - 4, I32) == 5
+
+
+class TestTypedAccess:
+    @pytest.mark.parametrize("type_,value", [
+        (I8, -5), (I16, -1234), (I32, -100000), (I64, -(2**40)),
+        (F32, 1.5), (F64, 3.141592653589793),
+    ])
+    def test_roundtrip(self, type_, value):
+        mem = Memory()
+        addr = mem.malloc(16)
+        mem.store(addr, type_, value)
+        assert mem.load(addr, type_) == value
+
+    def test_pointer_roundtrip(self):
+        mem = Memory()
+        addr = mem.malloc(8)
+        mem.store(addr, ptr(I32), 0xDEADBEEF)
+        assert mem.load(addr, ptr(I32)) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        mem = Memory()
+        addr = mem.malloc(4)
+        mem.store(addr, I32, 0x01020304)
+        assert mem.read_bytes(addr, 4) == bytes([4, 3, 2, 1])
+
+    def test_null_access_rejected(self):
+        mem = Memory()
+        with pytest.raises(InterpError):
+            mem.load(0, I32)
+
+    def test_f32_store_rounds(self):
+        mem = Memory()
+        addr = mem.malloc(4)
+        mem.store(addr, F32, 0.1)
+        assert mem.load(addr, F32) == round_f32(0.1)
+
+    def test_traffic_counters(self):
+        mem = Memory()
+        addr = mem.malloc(8)
+        mem.store(addr, F64, 1.0)
+        mem.load(addr, F64)
+        assert mem.bytes_written >= 8
+        assert mem.bytes_read >= 8
+
+
+class TestStructHelpers:
+    def test_field_roundtrip(self):
+        s = StructType("memnode", [("v", F64), ("n", I32)])
+        mem = Memory()
+        addr = mem.alloc_object(s)
+        mem.store_field(addr, s, "v", 2.5)
+        mem.store_field(addr, s, "n", 9)
+        assert mem.load_field(addr, s, "v") == 2.5
+        assert mem.load_field(addr, s, "n") == 9
+
+    def test_array_roundtrip(self):
+        mem = Memory()
+        addr = mem.malloc(40)
+        mem.store_array(addr, F64, [1.0, 2.0, 3.0])
+        assert mem.load_array(addr, F64, 3) == [1.0, 2.0, 3.0]
+
+    def test_clone_is_independent(self):
+        mem = Memory()
+        addr = mem.malloc(4, site=3)
+        mem.store(addr, I32, 1)
+        copy = mem.clone()
+        copy.store(addr, I32, 2)
+        assert mem.load(addr, I32) == 1
+        assert copy.load(addr, I32) == 2
+        assert copy.allocations[-1].site == 3
+
+    def test_snapshot_equality_detects_divergence(self):
+        a = Memory()
+        addr = a.malloc(16)
+        a.store(addr, I32, 5)
+        b = a.clone()
+        assert a.snapshot() == b.snapshot()
+        b.store(addr, I32, 6)
+        assert a.snapshot() != b.snapshot()
+
+
+class TestIntHelpers:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+           st.sampled_from([8, 16, 32, 64]))
+    def test_wrap_int_range(self, value, bits):
+        wrapped = wrap_int(value, bits)
+        assert -(2 ** (bits - 1)) <= wrapped < 2 ** (bits - 1)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_wrap_is_identity_in_range(self, value):
+        assert wrap_int(value, 32) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_unsigned_signed_roundtrip(self, value):
+        assert wrap_int(to_unsigned(value, 32), 32) == value
+
+    @given(st.integers(), st.integers())
+    def test_wrap_add_homomorphism(self, a, b):
+        # (a + b) wrapped == (wrap a + wrap b) wrapped — the property that
+        # makes per-op wrapping in the interpreter sound.
+        assert wrap_int(a + b, 32) == wrap_int(wrap_int(a, 32) + wrap_int(b, 32), 32)
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(1, 64)), max_size=20))
+    def test_disjoint_writes_preserved(self, writes):
+        mem = Memory()
+        cells = []
+        for value, size in writes:
+            addr = mem.malloc(size)
+            mem.store(addr, I8, value)
+            cells.append((addr, wrap_int(value, 8)))
+        for addr, expected in cells:
+            assert mem.load(addr, I8) == expected

@@ -1,0 +1,160 @@
+"""Property tests: shared op semantics vs. Python/numpy oracles.
+
+These are the semantics both the interpreter and the hardware worker use;
+any divergence between them and real machine arithmetic would silently
+corrupt every benchmark.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.interp.ops import eval_binop, eval_cast, eval_fcmp, eval_gep, eval_icmp
+from repro.ir import (
+    BinaryOp,
+    Cast,
+    Constant,
+    FCmp,
+    GEP,
+    I8,
+    I32,
+    I64,
+    ICmp,
+    F32,
+    F64,
+    Alloca,
+    StructType,
+    ptr,
+)
+
+i32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+f64s = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def binop(op, a, b, type_=I32):
+    inst = BinaryOp(op, Constant(type_, a), Constant(type_, b))
+    return eval_binop(inst, a, b)
+
+
+class TestIntSemantics:
+    @given(i32s, i32s)
+    def test_add_matches_int32_wraparound(self, a, b):
+        expected = int(np.int32(np.int64(a) + np.int64(b)))
+        assert binop("add", a, b) == expected
+
+    @given(i32s, i32s)
+    def test_mul_matches_int32(self, a, b):
+        expected = int(np.int32(np.int64(a) * np.int64(b) & 0xFFFFFFFF))
+        assert binop("mul", a, b) == expected
+
+    @given(i32s, i32s)
+    def test_sdiv_truncates_like_c(self, a, b):
+        assume(b != 0)
+        assume(not (a == -(2**31) and b == -1))  # overflow UB
+        expected = int(a / b)  # C: trunc toward zero
+        assert binop("sdiv", a, b) == expected
+
+    @given(i32s, i32s)
+    def test_srem_sign_follows_dividend(self, a, b):
+        assume(b != 0)
+        assume(not (a == -(2**31) and b == -1))
+        r = binop("srem", a, b)
+        assert binop("sdiv", a, b) * b + r == a
+        if r != 0:
+            assert (r < 0) == (a < 0)
+
+    @given(i32s, st.integers(0, 31))
+    def test_shifts(self, a, s):
+        from repro.interp import wrap_int
+        assert binop("shl", a, s) == wrap_int((a & 0xFFFFFFFF) << s, 32)
+        assert binop("ashr", a, s) == a >> s
+
+    @given(i32s, i32s)
+    def test_bitwise(self, a, b):
+        assert binop("and", a, b) == a & b
+        assert binop("or", a, b) == a | b
+        assert binop("xor", a, b) == a ^ b
+
+    @given(i32s, i32s)
+    def test_udiv_unsigned(self, a, b):
+        assume(b != 0)
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        assume(ub != 0)
+        expected = int(np.int32(ua // ub))
+        assert binop("udiv", a, b) == expected
+
+
+class TestFloatSemantics:
+    @given(f64s, f64s)
+    def test_fadd_is_ieee_double(self, a, b):
+        inst = BinaryOp("fadd", Constant(F64, a), Constant(F64, b))
+        result = eval_binop(inst, a, b)
+        assert result == a + b or (result != result and (a + b) != (a + b))
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+           st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_ops_round_to_single(self, a, b):
+        inst = BinaryOp("fmul", Constant(F32, a), Constant(F32, b))
+        result = eval_binop(inst, a, b)
+        expected = np.float32(a) * np.float32(b)  # IEEE f32 incl. overflow
+        assert result == expected or (result != result)
+
+    @given(f64s, f64s)
+    def test_fcmp_matches_python(self, a, b):
+        for pred, fn in [("olt", lambda: a < b), ("oge", lambda: a >= b),
+                         ("oeq", lambda: a == b)]:
+            inst = FCmp(pred, Constant(F64, a), Constant(F64, b))
+            assert eval_fcmp(inst, a, b) == int(fn())
+
+
+class TestCmpAndCast:
+    @given(i32s, i32s)
+    def test_icmp_signed(self, a, b):
+        assert eval_icmp(ICmp("slt", Constant(I32, a), Constant(I32, b)), a, b) == int(a < b)
+        assert eval_icmp(ICmp("sge", Constant(I32, a), Constant(I32, b)), a, b) == int(a >= b)
+
+    @given(i32s, i32s)
+    def test_icmp_unsigned(self, a, b):
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        assert eval_icmp(ICmp("ult", Constant(I32, a), Constant(I32, b)), a, b) == int(ua < ub)
+
+    @given(i32s)
+    def test_trunc_sext_roundtrip_for_small(self, a):
+        t = eval_cast(Cast("trunc", Constant(I32, a), I8), a)
+        assert -128 <= t <= 127
+        back = eval_cast(Cast("sext", Constant(I8, t), I32), t)
+        assert back == t
+
+    @given(f64s)
+    def test_fptosi_truncates(self, x):
+        assume(abs(x) < 2**30)
+        inst = Cast("fptosi", Constant(F64, x), I32)
+        assert eval_cast(inst, x) == int(x)
+
+    @given(st.integers(-(2**20), 2**20))
+    def test_sitofp_exact_in_range(self, n):
+        inst = Cast("sitofp", Constant(I32, n), F64)
+        assert eval_cast(inst, n) == float(n)
+
+
+class TestGepSemantics:
+    def test_struct_field_offsets(self):
+        s = StructType("gs", [("a", I32), ("b", F64), ("c", I32)])
+        base = Alloca(s)
+        g = GEP(base, [Constant(I32, 0), Constant(I32, 2)])
+        assert eval_gep(g, 1000, [0, 2]) == 1000 + s.field_offset(2)
+
+    @given(st.integers(0, 1000), st.integers(-100, 100))
+    def test_array_scaling(self, base, index):
+        slot = Alloca(F64)
+        g = GEP(slot, [Constant(I32, index)])
+        assert eval_gep(g, base, [index]) == (base + 8 * index) & 0xFFFFFFFF
+
+    def test_nested_struct_array(self):
+        from repro.ir import ArrayType
+        s = StructType("gt", [("pad", I32), ("tab", ArrayType(I32, 8))])
+        base = Alloca(s)
+        g = GEP(base, [Constant(I32, 0), Constant(I32, 1), Constant(I32, 3)])
+        assert eval_gep(g, 0x100, [0, 1, 3]) == 0x100 + 4 + 3 * 4

@@ -1,0 +1,77 @@
+"""Tests for the interpreter's manual stepping interface (cosim substrate)."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.frontend import compile_c
+from repro.interp import ChannelIO, Interpreter, Memory, Status
+from repro.ir import Channel, Consume, FunctionType, I32, IRBuilder, Module
+from repro.transforms import optimize_module
+
+
+class TestStepping:
+    def test_step_until_done(self):
+        module = compile_c("int f(int a) { return a * 2 + 1; }")
+        optimize_module(module)
+        interp = Interpreter(module)
+        interp.start("f", [20])
+        steps = 0
+        while not interp.done:
+            status = interp.step()
+            steps += 1
+            assert status in (Status.RUNNING, Status.DONE)
+        assert interp.return_value == 41
+        assert steps >= 2
+
+    def test_step_after_done_returns_done(self):
+        module = compile_c("int f(void) { return 1; }")
+        interp = Interpreter(module)
+        interp.start("f", [])
+        while interp.step() is not Status.DONE:
+            pass
+        assert interp.step() is Status.DONE
+
+    def test_cannot_start_twice(self):
+        module = compile_c("int f(void) { return 1; }")
+        interp = Interpreter(module)
+        interp.start("f", [])
+        with pytest.raises(InterpError, match="already running"):
+            interp.start("f", [])
+
+    def test_blocked_consume_does_not_advance(self):
+        m = Module("m")
+        chan = Channel(0, "c", I32, 0, 1)
+        f = m.new_function("f", FunctionType(I32, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        got = b.block.append(Consume(chan, I32))
+        b.ret(got)
+        io = ChannelIO()
+        interp = Interpreter(m, Memory(), channel_io=io)
+        interp.start("f", [])
+        assert interp.step() is Status.BLOCKED
+        assert interp.step() is Status.BLOCKED  # still parked on the consume
+        io.produce(chan, 0, 77)
+        status = interp.step()
+        while status is Status.RUNNING:
+            status = interp.step()
+        assert interp.return_value == 77
+
+    def test_blocked_call_via_call_api_raises(self):
+        m = Module("m")
+        chan = Channel(0, "c", I32, 0, 1)
+        f = m.new_function("f", FunctionType(I32, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        got = b.block.append(Consume(chan, I32))
+        b.ret(got)
+        interp = Interpreter(m, Memory(), channel_io=ChannelIO())
+        with pytest.raises(InterpError, match="blocked"):
+            interp.call("f", [])
+
+    def test_steps_counter(self):
+        module = compile_c(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        optimize_module(module)
+        interp = Interpreter(module)
+        interp.call("f", [10])
+        assert interp.steps > 30  # roughly 5+ ops per iteration

@@ -1,0 +1,137 @@
+"""Clone coverage for every instruction class, plus the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.ir import (
+    Alloca,
+    BasicBlock,
+    Call,
+    Cast,
+    Channel,
+    CondBranch,
+    Constant,
+    Consume,
+    F64,
+    FunctionType,
+    GEP,
+    I32,
+    ICmp,
+    Jump,
+    Load,
+    Module,
+    ParallelFork,
+    ParallelJoin,
+    Produce,
+    ProduceBroadcast,
+    Ret,
+    RetrieveLiveout,
+    Select,
+    Store,
+    StoreLiveout,
+    StructType,
+    VOID,
+    ptr,
+)
+
+
+def c(v, t=I32):
+    return Constant(t, v)
+
+
+class TestCloneCoverage:
+    """clone() must work for every instruction class the transform copies."""
+
+    def test_memory_ops(self):
+        slot = Alloca(I32, "slot")
+        slot2 = slot.clone({})
+        assert slot2.allocated_type == I32 and slot2 is not slot
+
+        load = Load(slot)
+        load2 = load.clone({slot: slot2})
+        assert load2.pointer is slot2
+
+        store = Store(c(1), slot)
+        store2 = store.clone({slot: slot2})
+        assert store2.pointer is slot2
+
+    def test_gep_clone_remaps_all_indices(self):
+        s = StructType("cl", [("a", I32), ("b", F64)])
+        base = Alloca(s)
+        idx = ICmp("eq", c(0), c(0))  # i1, silly but distinct
+        g = GEP(base, [c(0), c(1)])
+        base2 = Alloca(s)
+        g2 = g.clone({base: base2})
+        assert g2.base is base2
+        assert g2.type == ptr(F64)
+
+    def test_control_ops(self):
+        bb1, bb2 = BasicBlock("x"), BasicBlock("y")
+        nb1, nb2 = BasicBlock("nx"), BasicBlock("ny")
+        j = Jump(bb1)
+        assert j.clone({bb1: nb1}).target is nb1
+        cond = ICmp("eq", c(0), c(0))
+        br = CondBranch(cond, bb1, bb2)
+        br2 = br.clone({bb1: nb1, bb2: nb2})
+        assert br2.if_true is nb1 and br2.if_false is nb2
+
+        r = Ret(c(5))
+        assert r.clone({}).value.value == 5
+        assert Ret(None).clone({}).value is None
+
+    def test_select_and_cast(self):
+        cond = ICmp("eq", c(0), c(0))
+        sel = Select(cond, c(1), c(2))
+        sel2 = sel.clone({})
+        assert [o.value for o in sel2.operands[1:]] == [1, 2]
+        cst = Cast("sitofp", c(3), F64)
+        assert cst.clone({}).type == F64
+
+    def test_call_clone_keeps_callee(self):
+        m = Module("m")
+        callee = m.new_function("callee", FunctionType(I32, [I32]), ["x"])
+        call = Call(callee, [c(1)])
+        call2 = call.clone({})
+        assert call2.callee is callee
+
+    def test_primitive_clones(self):
+        chan = Channel(0, "c", I32, 0, 1, n_channels=4)
+        prod = Produce(chan, c(1), c(2))
+        prod2 = prod.clone({})
+        assert prod2.channel is chan
+
+        bc = ProduceBroadcast(chan, c(3))
+        assert bc.clone({}).channel is chan
+
+        cons = Consume(chan, I32, c(0))
+        cons2 = cons.clone({})
+        assert cons2.worker_select is not None
+
+        m = Module("m")
+        task = m.new_function("t", FunctionType(VOID, []), [])
+        fork = ParallelFork(7, task, [c(1)], 2)
+        fork2 = fork.clone({})
+        assert fork2.loop_id == 7 and fork2.worker_id == 2 and fork2.task is task
+
+        assert ParallelJoin(7).clone({}).loop_id == 7
+        assert StoreLiveout(3, c(1)).clone({}).liveout_id == 3
+        assert RetrieveLiveout(3, I32).clone({}).liveout_id == 3
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_cgpa_errors(self):
+        for name in ("LexerError", "ParseError", "SemanticError", "IRError",
+                     "InterpError", "AnalysisError", "PartitionError",
+                     "TransformError", "ScheduleError", "SimulationError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.CgpaError)
+
+    def test_position_errors_format(self):
+        e = errors.ParseError("boom", 3, 14)
+        assert "3:14" in str(e)
+        assert e.line == 3 and e.column == 14
+
+    def test_catching_the_base_class(self):
+        from repro.frontend import compile_c
+        with pytest.raises(errors.CgpaError):
+            compile_c("int f( { return 0; }")

@@ -1,0 +1,218 @@
+"""Unit tests for IR instruction construction, use lists, and cloning."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BOOL,
+    F64,
+    I32,
+    Alloca,
+    BasicBlock,
+    BinaryOp,
+    Cast,
+    Channel,
+    CondBranch,
+    Constant,
+    Consume,
+    GEP,
+    ICmp,
+    Jump,
+    Load,
+    Phi,
+    Produce,
+    ProduceBroadcast,
+    Ret,
+    Select,
+    Store,
+    StoreLiveout,
+    StructType,
+    ptr,
+)
+
+
+def c(v, t=I32):
+    return Constant(t, v)
+
+
+class TestConstruction:
+    def test_binop_result_type(self):
+        add = BinaryOp("add", c(1), c(2))
+        assert add.type == I32
+        fmul = BinaryOp("fmul", c(1.0, F64), c(2.0, F64))
+        assert fmul.type == F64
+
+    def test_binop_type_mismatch_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", c(1), c(1.0, F64))
+        with pytest.raises(IRError):
+            BinaryOp("fadd", c(1), c(2))
+        with pytest.raises(IRError):
+            BinaryOp("mul", c(1.0, F64), c(2.0, F64))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IRError):
+            BinaryOp("frob", c(1), c(2))
+
+    def test_icmp_produces_bool(self):
+        cmp = ICmp("slt", c(1), c(2))
+        assert cmp.type == BOOL
+
+    def test_icmp_bad_predicate(self):
+        with pytest.raises(IRError):
+            ICmp("weird", c(1), c(2))
+
+    def test_load_store_typing(self):
+        slot = Alloca(I32)
+        load = Load(slot)
+        assert load.type == I32
+        Store(c(5), slot)  # ok
+        with pytest.raises(IRError):
+            Store(c(5.0, F64), slot)
+        with pytest.raises(IRError):
+            Load(c(5))  # not a pointer
+
+    def test_gep_through_struct(self):
+        s = StructType("pair", [("a", I32), ("b", F64)])
+        base = Alloca(s)
+        g = GEP(base, [c(0), c(1)])
+        assert g.type == ptr(F64)
+
+    def test_gep_struct_index_must_be_constant(self):
+        s = StructType("pair2", [("a", I32)])
+        base = Alloca(s)
+        dynamic = BinaryOp("add", c(0), c(0))
+        with pytest.raises(IRError):
+            GEP(base, [c(0), dynamic])
+
+    def test_branch_condition_must_be_bool(self):
+        bb1, bb2 = BasicBlock("a"), BasicBlock("b")
+        CondBranch(ICmp("eq", c(0), c(0)), bb1, bb2)  # ok
+        with pytest.raises(IRError):
+            CondBranch(c(1), bb1, bb2)
+
+    def test_select_arms_must_match(self):
+        cond = ICmp("eq", c(0), c(0))
+        Select(cond, c(1), c(2))  # ok
+        with pytest.raises(IRError):
+            Select(cond, c(1), c(2.0, F64))
+
+
+class TestUseLists:
+    def test_users_tracked(self):
+        a = BinaryOp("add", c(1), c(2))
+        b = BinaryOp("mul", a, a)
+        assert b in a.users
+        assert len([u for u in a.users if u is b]) == 1
+
+    def test_replace_all_uses_with(self):
+        a = BinaryOp("add", c(1), c(2))
+        b = BinaryOp("mul", a, a)
+        z = BinaryOp("sub", c(3), c(4))
+        a.replace_all_uses_with(z)
+        assert b.operands[0] is z and b.operands[1] is z
+        assert b in z.users
+        assert b not in a.users
+
+    def test_replace_operand_keeps_other_uses(self):
+        a = BinaryOp("add", c(1), c(2))
+        b = BinaryOp("sub", c(1), c(2))
+        m = BinaryOp("mul", a, b)
+        m.replace_operand(a, b)
+        assert m.operands == [b, b]
+        assert m not in a.users
+
+    def test_drop_operands_detaches(self):
+        a = BinaryOp("add", c(1), c(2))
+        b = BinaryOp("mul", a, a)
+        b.drop_operands()
+        assert b not in a.users
+        assert b.operands == []
+
+    def test_erase_refuses_when_still_used(self):
+        bb = BasicBlock("bb")
+        a = bb.append(BinaryOp("add", c(1), c(2)))
+        bb.append(BinaryOp("mul", a, a))
+        with pytest.raises(IRError):
+            a.erase()
+
+
+class TestClassification:
+    def test_side_effects(self):
+        slot = Alloca(I32)
+        assert Store(c(1), slot).has_side_effects
+        assert not Load(slot).has_side_effects
+        assert not BinaryOp("add", c(1), c(2)).has_side_effects
+        assert Ret(None).has_side_effects
+
+    def test_heavyweight_ops_match_paper_heuristic(self):
+        # Section 3.3: replicable sections containing load or multiply
+        # instructions are not duplicated.
+        slot = Alloca(I32)
+        assert Load(slot).is_heavyweight
+        assert BinaryOp("mul", c(1), c(2)).is_heavyweight
+        assert BinaryOp("fmul", c(1.0, F64), c(1.0, F64)).is_heavyweight
+        assert not BinaryOp("add", c(1), c(2)).is_heavyweight
+        assert not ICmp("eq", c(1), c(2)).is_heavyweight
+
+    def test_primitives_have_side_effects(self):
+        chan = Channel(0, "t", I32, 0, 1)
+        assert Produce(chan, c(0), c(1)).has_side_effects
+        assert ProduceBroadcast(chan, c(1)).has_side_effects
+        assert Consume(chan, I32).has_side_effects
+        assert StoreLiveout(0, c(1)).has_side_effects
+
+    def test_primitive_constraint_classes(self):
+        chan = Channel(0, "t", I32, 0, 1)
+        assert Produce(chan, c(0), c(1)).constraint_class == 2
+        assert Consume(chan, I32).constraint_class == 2
+        assert StoreLiveout(0, c(1)).constraint_class == 3
+
+
+class TestCloning:
+    def test_clone_remaps_operands(self):
+        a = BinaryOp("add", c(1), c(2))
+        b = BinaryOp("mul", a, c(3))
+        a2 = BinaryOp("add", c(10), c(20))
+        b2 = b.clone({a: a2})
+        assert b2.operands[0] is a2
+        assert b2.opcode == "mul"
+        assert b2 is not b
+
+    def test_clone_phi_remaps_blocks(self):
+        bb1, bb2 = BasicBlock("x"), BasicBlock("y")
+        phi = Phi(I32)
+        phi.add_incoming(c(1), bb1)
+        phi.add_incoming(c(2), bb2)
+        nb1, nb2 = BasicBlock("nx"), BasicBlock("ny")
+        phi2 = phi.clone({bb1: nb1, bb2: nb2})
+        assert phi2.incoming_blocks == [nb1, nb2]
+
+    def test_clone_preserves_channel(self):
+        chan = Channel(3, "vals", I32, 0, 1, n_channels=4)
+        cons = Consume(chan, I32)
+        cons2 = cons.clone({})
+        assert cons2.channel is chan
+
+    def test_clone_cast_keeps_target_type(self):
+        cst = Cast("sext", c(1, BOOL), I32)
+        cst2 = cst.clone({})
+        assert cst2.type == I32 and cst2.opcode == "sext"
+
+
+class TestPhi:
+    def test_incoming_management(self):
+        bb1, bb2 = BasicBlock("p1"), BasicBlock("p2")
+        phi = Phi(I32)
+        phi.add_incoming(c(1), bb1)
+        phi.add_incoming(c(2), bb2)
+        assert phi.incoming_for(bb1).value == 1
+        phi.remove_incoming(bb1)
+        assert len(phi.operands) == 1
+        with pytest.raises(IRError):
+            phi.incoming_for(bb1)
+
+    def test_incoming_type_checked(self):
+        phi = Phi(I32)
+        with pytest.raises(IRError):
+            phi.add_incoming(c(1.0, F64), BasicBlock("p"))

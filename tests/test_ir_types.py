@@ -1,0 +1,142 @@
+"""Unit tests for the IR type system and 32-bit data layout."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    ptr,
+)
+
+
+class TestScalarTypes:
+    def test_int_sizes(self):
+        assert I8.size() == 1
+        assert I32.size() == 4
+        assert I64.size() == 8
+        assert BOOL.size() == 1
+
+    def test_float_sizes(self):
+        assert F32.size() == 4
+        assert F64.size() == 8
+
+    def test_pointer_is_four_bytes_on_32bit_target(self):
+        assert ptr(F64).size() == 4
+        assert ptr(ptr(I32)).size() == 4
+
+    def test_structural_equality(self):
+        assert IntType(32) == I32
+        assert FloatType(64) == F64
+        assert ptr(I32) == PointerType(IntType(32))
+        assert ptr(I32) != ptr(I64)
+        assert I32 != F32
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(IRError):
+            IntType(7)
+        with pytest.raises(IRError):
+            FloatType(16)
+
+    def test_void_has_no_size(self):
+        with pytest.raises(IRError):
+            VOID.size()
+
+    def test_predicates(self):
+        assert I32.is_integer and not I32.is_float
+        assert F32.is_float and not F32.is_integer
+        assert ptr(I32).is_pointer
+        assert VOID.is_void
+
+
+class TestArrayTypes:
+    def test_array_size(self):
+        assert ArrayType(I32, 10).size() == 40
+        assert ArrayType(F64, 3).size() == 24
+
+    def test_array_alignment_follows_element(self):
+        assert ArrayType(F64, 2).alignment() == 8
+        assert ArrayType(I8, 5).alignment() == 1
+
+    def test_nested_array(self):
+        inner = ArrayType(I32, 4)
+        outer = ArrayType(inner, 3)
+        assert outer.size() == 48
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(IRError):
+            ArrayType(I32, -1)
+
+
+class TestStructTypes:
+    def test_c_layout_with_padding(self):
+        # struct { int a; double b; int c; } on a 32-bit target with
+        # natural alignment: a@0, pad to 8, b@8, c@16, pad to 24.
+        s = StructType("s", [("a", I32), ("b", F64), ("c", I32)])
+        assert s.field_offset(0) == 0
+        assert s.field_offset(1) == 8
+        assert s.field_offset(2) == 16
+        assert s.size() == 24
+        assert s.alignment() == 8
+
+    def test_packed_when_no_padding_needed(self):
+        s = StructType("p", [("a", I32), ("b", I32)])
+        assert s.size() == 8
+
+    def test_em3d_node_layout(self):
+        # The em3d node: value, from_count, from_nodes, coeffs, next.
+        node = StructType("node_t")
+        node.set_fields([
+            ("value", F64),
+            ("from_count", I32),
+            ("from_nodes", ptr(ptr(node))),
+            ("coeffs", ptr(F64)),
+            ("next", ptr(node)),
+        ])
+        assert node.field_offset(node.field_index("value")) == 0
+        assert node.field_offset(node.field_index("from_count")) == 8
+        assert node.field_offset(node.field_index("from_nodes")) == 12
+        assert node.field_offset(node.field_index("next")) == 20
+        assert node.size() == 24
+
+    def test_field_index_errors(self):
+        s = StructType("s2", [("x", I32)])
+        with pytest.raises(IRError):
+            s.field_index("missing")
+
+    def test_nominal_equality(self):
+        a = StructType("same", [("x", I32)])
+        b = StructType("same", [("y", F64)])
+        assert a == b  # nominal typing, like C tags
+
+    def test_opaque_struct_rejects_layout_queries(self):
+        s = StructType("fwd")
+        assert s.is_opaque
+        with pytest.raises(IRError):
+            s.size()
+
+    def test_double_definition_rejected(self):
+        s = StructType("once", [("x", I32)])
+        with pytest.raises(IRError):
+            s.set_fields([("y", I32)])
+
+
+class TestFunctionTypes:
+    def test_equality(self):
+        assert FunctionType(I32, [I32]) == FunctionType(I32, [I32])
+        assert FunctionType(I32, [I32]) != FunctionType(I32, [I64])
+        assert FunctionType(VOID, []) != FunctionType(I32, [])
+
+    def test_repr_is_readable(self):
+        assert "i32" in repr(FunctionType(I32, [F64]))

@@ -1,0 +1,151 @@
+"""Integration tests over the five paper kernels (Table 2).
+
+Two levels:
+* partition shapes match Table 2 exactly (P1 and P2 columns);
+* full functional equivalence: running each kernel's (tiny) driver through
+  the transformed pipeline produces a byte-identical memory image to the
+  sequential interpreter.
+"""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.kernels import ALL_KERNELS, KERNELS_BY_NAME, KernelSpec
+from repro.pipeline import ReplicationPolicy, cgpa_compile, run_transformed
+from repro.transforms import optimize_module
+
+
+def compile_kernel(spec: KernelSpec, policy=ReplicationPolicy.P1):
+    module = compile_c(spec.source, spec.name)
+    optimize_module(module)
+    return cgpa_compile(
+        module, spec.accel_function, shapes=spec.shapes_for(module), policy=policy
+    )
+
+
+class TestTable2Partitions:
+    @pytest.mark.parametrize("spec", ALL_KERNELS, ids=lambda s: s.name)
+    def test_p1_signature(self, spec):
+        compiled = compile_kernel(spec)
+        assert compiled.signature == spec.expected_p1
+
+    @pytest.mark.parametrize(
+        "spec", [k for k in ALL_KERNELS if k.supports_p2], ids=lambda s: s.name
+    )
+    def test_p2_signature(self, spec):
+        compiled = compile_kernel(spec, ReplicationPolicy.P2)
+        assert compiled.signature == spec.expected_p2
+
+    def test_parallel_stage_always_four_workers(self):
+        for spec in ALL_KERNELS:
+            compiled = compile_kernel(spec)
+            parallel = compiled.spec.parallel_stage
+            assert parallel is not None, spec.name
+            assert parallel.n_workers == 4
+
+    def test_kmeans_index_channel_structure(self):
+        # Appendix A.1: one 4-channel FIFO carries the cluster index from
+        # the parallel workers to the sequential updater.
+        compiled = compile_kernel(KERNELS_BY_NAME["K-means"])
+        p_to_s = [
+            b for b in compiled.result.bindings
+            if compiled.spec.stages[b.producer_stage].is_parallel
+            and not compiled.spec.stages[b.consumer_stage].is_parallel
+        ]
+        assert p_to_s
+        assert all(b.channel.n_channels == 4 for b in p_to_s)
+
+    def test_gaussblur_broadcast_pixel(self):
+        # Appendix A.2: R3 (the new-pixel load) broadcasts to all four
+        # shift-register chains.
+        compiled = compile_kernel(KERNELS_BY_NAME["1D-Gaussblur"])
+        broadcasts = [b for b in compiled.result.bindings if b.broadcast]
+        assert any(b.value.type.is_float for b in broadcasts), \
+            "the image pixel must be broadcast to the replicated shifts"
+
+    def test_em3d_traversal_not_replicated_under_p1(self):
+        compiled = compile_kernel(KERNELS_BY_NAME["em3d"])
+        heavy_replicated = [s for s in compiled.spec.replicated
+                            if not s.is_lightweight]
+        assert not heavy_replicated
+
+    def test_em3d_traversal_replicated_under_p2(self):
+        compiled = compile_kernel(KERNELS_BY_NAME["em3d"], ReplicationPolicy.P2)
+        assert any(not s.is_lightweight for s in compiled.spec.replicated)
+
+
+class TestFunctionalEquivalence:
+    """The repo's analogue of the paper's testbench verification."""
+
+    @pytest.mark.parametrize("spec", ALL_KERNELS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("policy", [ReplicationPolicy.P1, ReplicationPolicy.P2])
+    def test_driver_memory_image_matches(self, spec, policy):
+        if policy is ReplicationPolicy.P2 and not spec.supports_p2:
+            pytest.skip("Table 2 lists no P2 partition for this kernel")
+        # Sequential reference: the kernel's tiny built-in driver.
+        ref_module = compile_c(spec.source, spec.name)
+        optimize_module(ref_module)
+        ref = Interpreter(ref_module)
+        ref.call("driver", [])
+
+        compiled = compile_kernel(spec, policy)
+        _, memory, _ = run_transformed(compiled.module, "driver", [])
+        assert memory.snapshot() == ref.memory.snapshot(), (
+            f"{spec.name} [{policy.value}]: pipelined execution diverged"
+        )
+
+    @pytest.mark.parametrize("spec", ALL_KERNELS, ids=lambda s: s.name)
+    def test_driver_under_varied_worker_counts(self, spec):
+        ref_module = compile_c(spec.source, spec.name)
+        optimize_module(ref_module)
+        ref = Interpreter(ref_module)
+        ref.call("driver", [])
+        for n_workers in (1, 3):
+            module = compile_c(spec.source, spec.name)
+            optimize_module(module)
+            compiled = cgpa_compile(
+                module, spec.accel_function, shapes=spec.shapes_for(module),
+                n_workers=n_workers,
+            )
+            _, memory, _ = run_transformed(compiled.module, "driver", [])
+            assert memory.snapshot() == ref.memory.snapshot(), (
+                f"{spec.name} with {n_workers} workers diverged"
+            )
+
+
+class TestKernelSpecs:
+    def test_registry_complete(self):
+        assert len(ALL_KERNELS) == 5
+        assert set(KERNELS_BY_NAME) == {
+            "K-means", "Hash-indexing", "ks", "em3d", "1D-Gaussblur",
+        }
+
+    def test_paper_numbers_present(self):
+        for spec in ALL_KERNELS:
+            assert spec.paper is not None
+            assert spec.paper.legup_aluts > 0
+            assert spec.paper.cgpa_aluts > spec.paper.legup_aluts
+
+    def test_p2_numbers_only_where_applicable(self):
+        for spec in ALL_KERNELS:
+            has_p2_numbers = spec.paper.cgpa_p2_aluts is not None
+            assert has_p2_numbers == spec.supports_p2
+
+    def test_sources_compile_and_verify(self):
+        from repro.ir import verify_module
+        for spec in ALL_KERNELS:
+            module = compile_c(spec.source, spec.name)
+            verify_module(module)
+            optimize_module(module)
+            verify_module(module)
+
+    def test_setup_publishes_all_args(self):
+        from repro.harness.runner import _setup_workload
+        for spec in ALL_KERNELS:
+            module = compile_c(spec.source, spec.name)
+            optimize_module(module)
+            _, _, args = _setup_workload(module, spec)
+            assert len(args) == spec.n_kernel_args
+            # Pointer arguments must be non-null.
+            assert args[0] != 0

@@ -1,0 +1,147 @@
+"""Property-based end-to-end fuzzing of the full CGPA flow.
+
+Hypothesis composes random loop kernels from a structured grammar (array
+expressions, reductions, guards, inner loops over disjoint regions), runs
+each through compile -> partition -> transform -> functional co-simulation
+for every replication policy and several worker counts, and requires a
+byte-identical memory image and return value versus sequential execution.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import RegionShapes, Shape
+from repro.errors import CgpaError
+from repro.frontend import compile_c
+from repro.interp import Interpreter, malloc_site_table
+from repro.pipeline import ReplicationPolicy, cgpa_compile, run_transformed
+from repro.transforms import optimize_module
+
+EXPRS = [
+    "a[i]",
+    "a[i] * 3",
+    "a[i] + b[i]",
+    "a[i] - b[i] * 2",
+    "(a[i] ^ b[i]) & 255",
+    "b[i] + i",
+]
+
+UPDATES = [
+    "b[i] = {expr};",
+    "b[i] = {expr}; acc += b[i] & 15;",
+    "if ({expr} > 20) acc += 1;",
+    "if ((i & 1) == 0) b[i] = {expr}; else acc -= 1;",
+    "acc += {expr};",
+]
+
+INNER = [
+    "",
+    "int t = 0; for (int j = 0; j < 4; j++) t += a[(i + j) & 31]; acc += t;",
+]
+
+
+@st.composite
+def kernel_source(draw):
+    expr = draw(st.sampled_from(EXPRS))
+    update = draw(st.sampled_from(UPDATES)).format(expr=expr)
+    inner = draw(st.sampled_from(INNER))
+    n = draw(st.integers(min_value=0, max_value=40))
+    return n, f"""
+void* malloc(int m);
+unsigned out_acc;
+int kernel(int* a, int* b, int n) {{
+    int acc = 0;
+    for (int i = 0; i < n; i++) {{
+        {update}
+        {inner}
+    }}
+    return acc;
+}}
+void run(int n) {{
+    int* a = (int*)malloc(128 * sizeof(int));
+    int* b = (int*)malloc(128 * sizeof(int));
+    for (int k = 0; k < 128; k++) {{ a[k] = (k * 37 + 11) & 63; b[k] = 0; }}
+    out_acc = (unsigned)kernel(a, b, n);
+}}
+"""
+
+
+class TestRandomKernels:
+    @given(kernel_source(), st.sampled_from(["p1", "p2", "none"]),
+           st.sampled_from([1, 2, 4]))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_transformed_equals_sequential(self, src, policy, workers):
+        n, source = src
+        ref_module = compile_c(source)
+        optimize_module(ref_module)
+        ref = Interpreter(ref_module)
+        ref.call("run", [n])
+
+        module = compile_c(source)
+        optimize_module(module)
+        shapes = RegionShapes()
+        for site in malloc_site_table(module):
+            shapes.declare(site, Shape.LIST)
+        compiled = cgpa_compile(
+            module, "kernel", shapes=shapes,
+            policy=ReplicationPolicy(policy), n_workers=workers,
+        )
+        _, memory, _ = run_transformed(compiled.module, "run", [n])
+        assert memory.snapshot() == ref.memory.snapshot(), (
+            f"divergence for policy={policy} workers={workers} "
+            f"n={n} partition={compiled.signature}\n{source}"
+        )
+
+
+LINKED_LIST_TEMPLATE = """
+typedef struct n {{ double v; int w; struct n* next; }} n_t;
+void* malloc(int m);
+double kernel(n_t* p, double scale) {{
+    double acc = 0.0;
+    for ( ; p; p = p->next) {{
+        {update}
+    }}
+    return acc;
+}}
+double run(int n) {{
+    n_t* head = 0;
+    for (int i = 0; i < n; i++) {{
+        n_t* f = (n_t*)malloc(sizeof(n_t));
+        f->v = 0.5 * i; f->w = (i * 13) & 31; f->next = head; head = f;
+    }}
+    return kernel(head, 1.25);
+}}
+"""
+
+LIST_UPDATES = [
+    "p->v = p->v * scale; acc += p->v;",
+    "acc += p->v + p->w;",
+    "if (p->w > 15) p->v = acc * 0.0 + p->w; else acc += 1.0;",
+    "double t = p->v; p->v = t * t; acc += t;",
+]
+
+
+class TestRandomListKernels:
+    @given(st.sampled_from(LIST_UPDATES), st.integers(0, 30),
+           st.sampled_from(["p1", "p2"]))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_list_kernels_equal_sequential(self, update, n, policy):
+        source = LINKED_LIST_TEMPLATE.format(update=update)
+        ref_module = compile_c(source)
+        optimize_module(ref_module)
+        ref = Interpreter(ref_module)
+        expected = ref.call("run", [n])
+
+        module = compile_c(source)
+        optimize_module(module)
+        shapes = RegionShapes()
+        for site in malloc_site_table(module):
+            shapes.declare(site, Shape.LIST)
+        compiled = cgpa_compile(
+            module, "kernel", shapes=shapes, policy=ReplicationPolicy(policy)
+        )
+        value, memory, _ = run_transformed(compiled.module, "run", [n])
+        assert value == expected
+        assert memory.snapshot() == ref.memory.snapshot()

@@ -1,0 +1,148 @@
+"""Partitioner tests: stage shapes, legality rules, P1/P2/NONE policies."""
+
+import pytest
+
+from repro.analysis import (
+    LoopInfo,
+    PointsTo,
+    ProgramDependenceGraph,
+    RegionShapes,
+    SccClass,
+    Shape,
+)
+from repro.frontend import compile_c
+from repro.interp import malloc_site_table
+from repro.pipeline import ReplicationPolicy, partition_loop
+from repro.transforms import optimize_module
+
+from tests.test_analysis_pdg import (
+    CALL_SOURCE,
+    EM3D_SOURCE,
+    REDUCTION_SOURCE,
+    SEQUENTIAL_STORE_SOURCE,
+)
+
+
+def build_pdg(source, kernel="kernel", list_shapes=False):
+    module = compile_c(source)
+    optimize_module(module)
+    loop = LoopInfo(module.get_function(kernel)).top_level()[0]
+    shapes = RegionShapes()
+    if list_shapes:
+        for site in malloc_site_table(module):
+            shapes.declare(site, Shape.LIST)
+    return ProgramDependenceGraph(loop, PointsTo(module), shapes)
+
+
+class TestStageShapes:
+    def test_em3d_p1_is_sp(self):
+        # Table 2: em3d with the replicable (traversal) section in a
+        # sequential stage is an S-P pipeline.
+        pdg = build_pdg(EM3D_SOURCE, list_shapes=True)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        assert spec.signature == "S-P"
+
+    def test_em3d_p2_is_p(self):
+        # Table 2: em3d P2 duplicates the traversal into the workers.
+        pdg = build_pdg(EM3D_SOURCE, list_shapes=True)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P2)
+        assert spec.signature == "P"
+        assert spec.replicated  # the traversal SCC
+
+    def test_reduction_p1_is_ps(self):
+        pdg = build_pdg(REDUCTION_SOURCE)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        assert spec.signature == "P-S"
+
+    def test_histogram_is_ps(self):
+        pdg = build_pdg(SEQUENTIAL_STORE_SOURCE)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        assert spec.signature == "P-S"
+
+    def test_pure_call_is_p(self):
+        pdg = build_pdg(CALL_SOURCE)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        assert spec.signature == "P"
+
+    def test_none_policy_never_replicates(self):
+        pdg = build_pdg(SEQUENTIAL_STORE_SOURCE)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.NONE)
+        assert not spec.replicated
+        assert spec.signature == "S-P-S"
+
+    def test_conservative_shapes_degenerate(self):
+        # Without shape facts em3d's update is not provably parallel;
+        # whatever comes out must still be a legal partition.
+        pdg = build_pdg(EM3D_SOURCE, list_shapes=False)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        assert spec.signature in ("S", "S-P", "P-S", "S-P-S", "P")
+
+
+class TestLegality:
+    def _spec(self, source, policy=ReplicationPolicy.P1, **kw):
+        pdg = build_pdg(source, **kw)
+        return pdg, partition_loop(pdg, policy=policy)
+
+    @pytest.mark.parametrize("source,list_shapes", [
+        (EM3D_SOURCE, True),
+        (REDUCTION_SOURCE, False),
+        (SEQUENTIAL_STORE_SOURCE, False),
+        (CALL_SOURCE, False),
+    ])
+    def test_no_carried_edges_within_parallel_stage(self, source, list_shapes):
+        pdg, spec = self._spec(source, list_shapes=list_shapes)
+        parallel = spec.parallel_stage
+        if parallel is None:
+            return
+        member_ids = {scc.index for scc in parallel.sccs}
+        for edge in pdg.edges:
+            if not edge.carried:
+                continue
+            src = pdg.scc_of(edge.src).index
+            dst = pdg.scc_of(edge.dst).index
+            assert not (src in member_ids and dst in member_ids and src != dst), \
+                "carried dependence between two non-replicated parallel SCCs"
+
+    @pytest.mark.parametrize("source,list_shapes", [
+        (EM3D_SOURCE, True),
+        (REDUCTION_SOURCE, False),
+        (SEQUENTIAL_STORE_SOURCE, False),
+    ])
+    def test_all_edges_flow_forward(self, source, list_shapes):
+        pdg, spec = self._spec(source, list_shapes=list_shapes)
+        stage_of_scc = {}
+        for stage in spec.stages:
+            for scc in stage.sccs:
+                stage_of_scc[scc.index] = stage.index
+        for (s, d) in pdg.condensation.edges:
+            if s in stage_of_scc and d in stage_of_scc:
+                assert stage_of_scc[s] <= stage_of_scc[d]
+
+    def test_every_scc_is_placed_exactly_once(self):
+        pdg, spec = self._spec(EM3D_SOURCE, list_shapes=True)
+        placed = [scc.index for stage in spec.stages for scc in stage.sccs]
+        placed += [scc.index for scc in spec.replicated]
+        assert sorted(placed) == sorted(s.index for s in pdg.sccs)
+
+    def test_replicated_sccs_have_no_side_effects(self):
+        for source, ls in ((EM3D_SOURCE, True), (REDUCTION_SOURCE, False)):
+            pdg, spec = self._spec(source, policy=ReplicationPolicy.P2, list_shapes=ls)
+            for scc in spec.replicated:
+                assert not scc.has_side_effects
+
+    def test_p1_replicated_sections_are_lightweight(self):
+        pdg, spec = self._spec(REDUCTION_SOURCE)
+        for scc in spec.replicated:
+            assert scc.is_lightweight  # no load / multiply under P1
+
+    def test_worker_count_honoured(self):
+        pdg = build_pdg(CALL_SOURCE)
+        for n in (1, 2, 4, 8):
+            spec = partition_loop(pdg, n_workers=n)
+            assert spec.parallel_stage.n_workers == n
+
+    def test_sequential_stages_have_one_worker(self):
+        pdg, spec = self._spec(SEQUENTIAL_STORE_SOURCE)
+        for stage in spec.stages:
+            if not stage.is_parallel:
+                assert stage.n_workers == 1

@@ -1,0 +1,128 @@
+"""Unit tests for partitioner internals: closures, demotion, repairs."""
+
+import pytest
+
+from repro.analysis import LoopInfo, PointsTo, ProgramDependenceGraph
+from repro.frontend import compile_c
+from repro.pipeline import ReplicationPolicy, partition_loop
+from repro.pipeline.partition import _Partitioner
+from repro.transforms import optimize_module
+
+
+def pdg_for(source, kernel="kernel"):
+    module = compile_c(source)
+    optimize_module(module)
+    loop = LoopInfo(module.get_function(kernel)).top_level()[0]
+    return ProgramDependenceGraph(loop, PointsTo(module))
+
+
+SHIFT_CHAIN = """
+void* malloc(int m);
+void kernel(double* in, double* out, int n) {
+    double w0 = in[0];
+    double w1 = in[1];
+    for (int i = 0; i < n; i++) {
+        out[i] = w0 + w1 * 0.5;
+        w0 = w1;
+        w1 = in[i + 2];
+    }
+}
+void driver(void) { kernel((double*)malloc(256), (double*)malloc(256), 8); }
+"""
+
+
+class TestReplicableClosure:
+    def test_shift_chain_replicated_together(self):
+        # The w0 <- w1 chain must be replicated as a unit (gaussblur's R2).
+        pdg = pdg_for(SHIFT_CHAIN)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        replicated_insts = {
+            i.opcode for scc in spec.replicated for i in scc.instructions
+        }
+        assert "phi" in replicated_insts
+        # The heavyweight in[] load is NOT replicated under P1.
+        assert "load" not in replicated_insts
+
+    def test_p2_replicates_the_load_too(self):
+        pdg = pdg_for(SHIFT_CHAIN)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P2)
+        replicated_insts = {
+            i.opcode for scc in spec.replicated for i in scc.instructions
+        }
+        assert "load" in replicated_insts
+        assert spec.signature == "P"
+
+    def test_closure_fails_on_side_effecting_member(self):
+        pdg = pdg_for(SHIFT_CHAIN)
+        partitioner = _Partitioner(pdg, 4, ReplicationPolicy.P2)
+        partitioner.parallel = {
+            s.index for s in pdg.sccs if s.classification.value == "parallel"
+        }
+        store_scc = next(
+            s for s in pdg.sccs
+            if any(i.opcode == "store" for i in s.instructions)
+        )
+        assert partitioner._replicable_closure(store_scc.index) is None
+
+
+class TestDemotion:
+    def test_demoted_load_becomes_sequential_stage(self):
+        # P1 on the shift chain: the load feeds the replicated shifts, is
+        # cheap relative to the stage, and is fed by nothing in P ->
+        # demoted to a broadcast stage (the paper's R3 handling).
+        pdg = pdg_for(SHIFT_CHAIN)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        assert spec.signature == "S-P"
+        stage0_ops = {
+            i.opcode for scc in spec.stages[0].sccs for i in scc.instructions
+        }
+        assert "load" in stage0_ops
+
+    def test_heavy_source_not_demoted(self):
+        # ks-style: the gain computation IS the parallel stage; un-replicate
+        # the reduction instead of demoting the gain.
+        source = """
+        void* malloc(int m);
+        double kernel(double* w, int n) {
+            double best = -1.0e30;
+            for (int i = 0; i < n; i++) {
+                double g = w[i] * w[i] + w[i] * 0.5 - 1.0;
+                if (g > best) best = g;
+            }
+            return best;
+        }
+        void driver(void) { kernel((double*)malloc(256), 8); }
+        """
+        pdg = pdg_for(source)
+        spec = partition_loop(pdg, policy=ReplicationPolicy.P1)
+        assert spec.signature == "P-S"
+        # The fmul-heavy gain stays parallel.
+        parallel_ops = {
+            i.opcode
+            for scc in spec.parallel_stage.sccs
+            for i in scc.instructions
+        }
+        assert "fmul" in parallel_ops
+
+
+class TestRepairTermination:
+    def test_repair_converges_on_all_kernels(self):
+        from repro.kernels import ALL_KERNELS
+        for spec_def in ALL_KERNELS:
+            module = compile_c(spec_def.source, spec_def.name)
+            optimize_module(module)
+            loop = LoopInfo(
+                module.get_function(spec_def.accel_function)
+            ).top_level()[0]
+            pdg = ProgramDependenceGraph(
+                loop, PointsTo(module), spec_def.shapes_for(module)
+            )
+            for policy in ReplicationPolicy:
+                partition_loop(pdg, policy=policy)  # must not raise
+
+    def test_every_policy_on_random_worker_counts(self):
+        pdg = pdg_for(SHIFT_CHAIN)
+        for n in (1, 2, 3, 4, 7, 8, 16):
+            spec = partition_loop(pdg, n_workers=n)
+            if spec.parallel_stage:
+                assert spec.parallel_stage.n_workers == n

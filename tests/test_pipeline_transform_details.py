@@ -1,0 +1,118 @@
+"""Detailed tests of pipeline-transform internals: iteration counters,
+communication placement hoisting, FIFO re-arming across invocations."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import BinaryOp, Consume, Phi, Produce
+from repro.kernels import GAUSSBLUR, KS
+from repro.pipeline import ReplicationPolicy, cgpa_compile, run_transformed
+from repro.transforms import optimize_module
+
+
+def compiled_for(spec, policy=ReplicationPolicy.P1):
+    module = compile_c(spec.source, spec.name)
+    optimize_module(module)
+    return cgpa_compile(
+        module, spec.accel_function, shapes=spec.shapes_for(module),
+        policy=policy,
+    )
+
+
+class TestIterationCounter:
+    def test_every_task_gets_it_counter(self):
+        # The paper's Fig 1(e) shows compiler-generated iteration counters
+        # in both the sequential and parallel tasks.
+        cp = compiled_for(KS)
+        for task in cp.result.tasks:
+            dispatch = next(b for b in task.blocks if b.name == "dispatch")
+            it_phis = [p for p in dispatch.phis() if p.name == "it"]
+            assert len(it_phis) == 1
+            increments = [
+                i for i in dispatch.instructions
+                if isinstance(i, BinaryOp) and i.opcode == "add"
+                and i.lhs is it_phis[0]
+            ]
+            assert len(increments) == 1
+
+    def test_parallel_task_mask_dispatch(self):
+        cp = compiled_for(KS)
+        parallel_task = cp.result.tasks[1]
+        dispatch = next(b for b in parallel_task.blocks if b.name == "dispatch")
+        # 4 workers -> power-of-two mask (the paper's `it & MASK`).
+        masks = [i for i in dispatch.instructions
+                 if isinstance(i, BinaryOp) and i.opcode == "and"]
+        assert len(masks) == 1
+        assert masks[0].rhs.value == 3
+
+
+class TestPlacementHoisting:
+    def test_inner_reduction_communicated_once_per_iteration(self):
+        # ks: bestb is an inner-loop reduction consumed by stage 3; the
+        # produce/consume pair must be hoisted out of the inner loop.
+        cp = compiled_for(KS)
+        binding = next(
+            b for b in cp.result.bindings
+            if b.value.type.is_float and b.producer_stage == 1
+        )
+        assert binding.placement is not None
+        # The placement block is outside the inner loop: in the original
+        # function the inner header dominates it but doesn't contain it.
+        inner_names = {"for.cond.1", "for.body.1", "for.inc.1", "if.then"}
+        assert binding.placement.short_name() not in inner_names
+
+    def test_gaussblur_pixel_broadcast_at_def_site(self):
+        # The R3 pixel load is consumed by the replicated shifts every
+        # iteration: def-site placement, broadcast channel.
+        cp = compiled_for(GAUSSBLUR)
+        broadcast = [b for b in cp.result.bindings if b.broadcast]
+        assert broadcast
+        pixel = next(b for b in broadcast if b.value.type.is_float)
+        assert pixel.channel.n_channels == 4
+
+
+class TestReinvocation:
+    def test_accelerator_reinvoked_per_row(self):
+        # Gaussblur's wrapper invokes the pipeline once per image row;
+        # FIFOs must be re-armed between invocations.
+        from repro.harness.runner import run_backend
+        import dataclasses
+        small = dataclasses.replace(GAUSSBLUR, setup_args=[4, 24])
+        result = run_backend(small, "cgpa-p1")
+        assert result.sim.invocations == 4  # one join per row
+
+    def test_leftover_fifo_values_cleared(self):
+        # The traversal stage pushes one value nobody pops (the exit
+        # evaluation); a second invocation must not observe it.
+        cp = compiled_for(GAUSSBLUR)
+        # Functional check: two rows through the cosim equals sequential.
+        ref_module = compile_c(GAUSSBLUR.source, "ref")
+        optimize_module(ref_module)
+        ref = Interpreter(ref_module)
+        ref.call("driver", [])
+        _, memory, handler = run_transformed(cp.module, "driver", [])
+        assert memory.snapshot() == ref.memory.snapshot()
+
+
+class TestChannelTypes:
+    def test_wide_values_have_two_fifo_slots(self):
+        cp = compiled_for(KS)
+        f64_channels = [
+            b.channel for b in cp.result.bindings if b.value.type.is_float
+        ]
+        assert f64_channels
+        assert all(c.fifo_slots_per_value == 2 for c in f64_channels)
+
+    def test_consume_types_match_produced_values(self):
+        cp = compiled_for(KS)
+        for task in cp.result.tasks:
+            for inst in task.instructions():
+                if isinstance(inst, Consume):
+                    binding = next(
+                        b for b in cp.result.bindings
+                        if b.channel.channel_id == inst.channel.channel_id
+                    )
+                    assert inst.type == binding.value.type
+                if isinstance(inst, Produce):
+                    assert inst.value.type == inst.channel.elem_type

@@ -1,0 +1,174 @@
+"""Scheduler tests: the paper's constraints (1)-(4) and basic FSM shape."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.frontend import compile_c
+from repro.ir import (
+    Channel,
+    Consume,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Module,
+    ParallelFork,
+    ParallelJoin,
+    Produce,
+    RetrieveLiveout,
+    StoreLiveout,
+    VOID,
+)
+from repro.rtl import cost_of, schedule_function
+from repro.transforms import optimize_module
+
+
+def schedule_c(source, name="f"):
+    module = compile_c(source)
+    optimize_module(module)
+    f = module.get_function(name)
+    return f, schedule_function(f)
+
+
+class TestDataDependences:
+    def test_dependent_ops_spaced_by_latency(self):
+        f, sched = schedule_c("int f(int a, int b) { return (a * b) + 1; }")
+        block = f.entry
+        bs = sched.block_schedule(block)
+        mul = next(i for i in block.instructions if i.opcode == "mul")
+        add = next(i for i in block.instructions if i.opcode == "add")
+        assert bs.state_of[id(add)] >= bs.state_of[id(mul)] + cost_of(mul).latency
+
+    def test_independent_ops_share_states(self):
+        f, sched = schedule_c(
+            "int f(int a, int b, int c, int d) { return (a + b) ^ (c - d); }"
+        )
+        bs = sched.block_schedule(f.entry)
+        add = next(i for i in f.entry.instructions if i.opcode == "add")
+        sub = next(i for i in f.entry.instructions if i.opcode == "sub")
+        assert bs.state_of[id(add)] == bs.state_of[id(sub)] == 0
+
+    def test_fp_latency_respected(self):
+        f, sched = schedule_c(
+            "double f(double a, double b) { return a * b + 1.0; }"
+        )
+        bs = sched.block_schedule(f.entry)
+        fmul = next(i for i in f.entry.instructions if i.opcode == "fmul")
+        fadd = next(i for i in f.entry.instructions if i.opcode == "fadd")
+        assert bs.state_of[id(fadd)] - bs.state_of[id(fmul)] >= cost_of(fmul).latency
+
+    def test_terminator_is_last(self):
+        f, sched = schedule_c("double f(double a) { return a * a * a; }")
+        for block in f.blocks:
+            bs = sched.block_schedule(block)
+            term = block.terminator
+            for inst in block.instructions:
+                assert bs.state_of[id(inst)] <= bs.state_of[id(term)]
+            assert bs.n_states == bs.state_of[id(term)] + 1
+
+    def test_phis_at_state_zero(self):
+        f, sched = schedule_c(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        for block in f.blocks:
+            bs = sched.block_schedule(block)
+            for phi in block.phis():
+                assert bs.state_of[id(phi)] == 0
+
+
+class TestBlockingOps:
+    def test_memory_ops_serialized(self):
+        f, sched = schedule_c(
+            "void* malloc(int n);"
+            "int f(int* p) { return p[0] + p[1] + p[2]; }"
+        )
+        bs = sched.block_schedule(f.entry)
+        loads = [i for i in f.entry.instructions if i.opcode == "load"]
+        states = sorted(bs.state_of[id(l)] for l in loads)
+        assert len(set(states)) == len(states)  # one memory op per state
+
+    def test_constraint3_fifo_never_with_memory(self):
+        # Build IR with a load and a produce that could otherwise share.
+        m = Module("m")
+        chan = Channel(0, "c", I32, 0, 1)
+        from repro.ir import ptr
+        f = m.new_function("f", FunctionType(VOID, [ptr(I32)]), ["p"])
+        b = IRBuilder(f.new_block("entry"))
+        v = b.load(f.args[0])
+        b.block.append(Produce(chan, b.const_int(0), v))
+        b.ret()
+        sched = schedule_function(f)
+        bs = sched.block_schedule(f.entry)
+        load = f.entry.instructions[0]
+        produce = f.entry.instructions[1]
+        assert bs.state_of[id(load)] != bs.state_of[id(produce)]
+
+    def test_constraint1_same_loop_forks_share_state(self):
+        m = Module("m")
+        task = m.new_function("t", FunctionType(VOID, []), [])
+        tb = IRBuilder(task.new_block("entry"))
+        tb.ret()
+        f = m.new_function("f", FunctionType(VOID, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        for _ in range(4):
+            b.block.append(ParallelFork(0, task, [], None))
+        b.block.append(ParallelJoin(0))
+        b.ret()
+        sched = schedule_function(f)
+        bs = sched.block_schedule(f.entry)
+        fork_states = {
+            bs.state_of[id(i)]
+            for i in f.entry.instructions
+            if isinstance(i, ParallelFork)
+        }
+        assert len(fork_states) == 1
+
+    def test_constraint2_different_loops_different_states(self):
+        m = Module("m")
+        task = m.new_function("t", FunctionType(VOID, []), [])
+        IRBuilder(task.new_block("entry")).ret()
+        f = m.new_function("f", FunctionType(VOID, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        b.block.append(ParallelFork(0, task, [], None))
+        b.block.append(ParallelFork(1, task, [], None))
+        b.ret()
+        sched = schedule_function(f)
+        bs = sched.block_schedule(f.entry)
+        forks = [i for i in f.entry.instructions if isinstance(i, ParallelFork)]
+        assert bs.state_of[id(forks[0])] != bs.state_of[id(forks[1])]
+
+    def test_constraint4_liveout_with_terminator(self):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(VOID, [I32]), ["v"])
+        b = IRBuilder(f.new_block("entry"))
+        b.block.append(StoreLiveout(0, f.args[0]))
+        b.ret()
+        sched = schedule_function(f)
+        bs = sched.block_schedule(f.entry)
+        store = f.entry.instructions[0]
+        ret = f.entry.terminator
+        assert bs.state_of[id(store)] == bs.state_of[id(ret)]
+
+    def test_retrieve_not_hoisted_above_join(self):
+        m = Module("m")
+        task = m.new_function("t", FunctionType(VOID, []), [])
+        IRBuilder(task.new_block("entry")).ret()
+        f = m.new_function("f", FunctionType(I32, []), [])
+        b = IRBuilder(f.new_block("entry"))
+        b.block.append(ParallelFork(0, task, [], None))
+        join = b.block.append(ParallelJoin(0))
+        r = b.block.append(RetrieveLiveout(0, I32))
+        b.ret(r)
+        sched = schedule_function(f)
+        bs = sched.block_schedule(f.entry)
+        assert bs.state_of[id(r)] >= bs.state_of[id(join)]
+
+
+class TestKernelSchedules:
+    def test_all_kernels_schedule_cleanly(self):
+        from repro.kernels import ALL_KERNELS
+        for spec in ALL_KERNELS:
+            module = compile_c(spec.source, spec.name)
+            optimize_module(module)
+            for fn in module.functions.values():
+                if not fn.is_declaration:
+                    schedule_function(fn)  # raises on constraint violation

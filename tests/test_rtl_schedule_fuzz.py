@@ -1,0 +1,54 @@
+"""Fuzz the FSM scheduler: random programs must schedule legally and the
+hardware simulation of the schedule must match the interpreter."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend import compile_c
+from repro.hw import AcceleratorSystem
+from repro.interp import Interpreter, Memory
+from repro.rtl import schedule_function
+from repro.transforms import optimize_module
+
+from tests.test_transforms_properties import random_program
+
+
+class TestScheduleFuzz:
+    @given(random_program())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_programs_schedule_legally(self, source):
+        module = compile_c(source)
+        optimize_module(module)
+        fn = module.get_function("f")
+        schedule = schedule_function(fn)  # built-in constraint checks
+        # Structural: every instruction has a state inside its block.
+        for block in fn.blocks:
+            bs = schedule.block_schedule(block)
+            for inst in block.instructions:
+                assert 0 <= bs.state_of[id(inst)] < bs.n_states
+
+    @given(random_program(), st.integers(-50, 50))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_scheduled_hardware_matches_interpreter(self, source, arg):
+        ref_module = compile_c(source)
+        optimize_module(ref_module)
+        expected = Interpreter(ref_module).call("f", [arg])
+
+        hw_module = compile_c(source)
+        optimize_module(hw_module)
+        system = AcceleratorSystem(hw_module, Memory())
+        report = system.run("f", [arg])
+        assert report.return_value == expected
+
+    @given(random_program())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_verilog_emits_for_random_programs(self, source):
+        from repro.rtl import generate_verilog
+        module = compile_c(source)
+        optimize_module(module)
+        fn = module.get_function("f")
+        text = generate_verilog(fn)
+        assert text.count("module ") - text.count("endmodule") == 0

@@ -1,0 +1,239 @@
+"""Tests for mem2reg, constant folding, DCE, and CFG simplification.
+
+The key test style is differential: every optimized program must behave
+exactly like the unoptimized one under the interpreter.
+"""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import (
+    Alloca,
+    Load,
+    Phi,
+    Store,
+    verify_module,
+)
+from repro.transforms import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_module,
+    promote_allocas,
+    simplify_cfg,
+)
+
+PROGRAMS = [
+    # (source, entry, args, expected)
+    ("int f(int a, int b) { int c = a * b; return c + a; }", "f", [3, 4], 15),
+    (
+        "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }",
+        "f", [10], sum(i * i for i in range(10)),
+    ),
+    (
+        "int f(int n) { int s = 0; int i = 0;"
+        " while (i < n) { if (i % 3 == 0) s += i; i++; } return s; }",
+        "f", [20], sum(i for i in range(20) if i % 3 == 0),
+    ),
+    (
+        "double f(double x, int n) { double acc = 1.0;"
+        " for (int i = 0; i < n; i++) acc = acc * x + 0.5; return acc; }",
+        "f", [1.25, 6], None,  # expected computed from unoptimized run
+    ),
+    (
+        """
+        typedef struct node { int v; struct node* next; } node_t;
+        void* malloc(int n);
+        int f(int n) {
+            node_t* head = 0;
+            for (int i = 0; i < n; i++) {
+                node_t* fresh = (node_t*)malloc(sizeof(node_t));
+                fresh->v = i * 3;
+                fresh->next = head;
+                head = fresh;
+            }
+            int s = 0;
+            for ( ; head; head = head->next) s += head->v;
+            return s;
+        }
+        """,
+        "f", [12], sum(3 * i for i in range(12)),
+    ),
+    (
+        "int f(int x) { int r; if (x > 0) { if (x > 10) r = 2; else r = 1; }"
+        " else r = 0; return r; }",
+        "f", [5], 1,
+    ),
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("source,entry,args,expected", PROGRAMS)
+    def test_optimized_matches_unoptimized(self, source, entry, args, expected):
+        baseline_module = compile_c(source)
+        reference = Interpreter(baseline_module).call(entry, args)
+        if expected is not None:
+            assert reference == expected
+
+        optimized = compile_c(source)
+        optimize_module(optimized)
+        verify_module(optimized)
+        assert Interpreter(optimized).call(entry, args) == reference
+
+    def test_memory_image_matches_for_pointer_free_heap(self):
+        # Optimization must not change what the program writes to its heap.
+        # (Programs that store *pointers* into the heap are excluded: the
+        # absolute addresses legitimately shift when allocas disappear.)
+        source = """
+        void* malloc(int n);
+        int f(int n) {
+            double* a = (double*)malloc(n * sizeof(double));
+            int* b = (int*)malloc(n * sizeof(int));
+            for (int i = 0; i < n; i++) { a[i] = i * 0.5; b[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < n; i++) s += b[i] + (int)a[i];
+            return s;
+        }
+        """
+        baseline_module = compile_c(source)
+        base_interp = Interpreter(baseline_module)
+        reference = base_interp.call("f", [16])
+
+        optimized = compile_c(source)
+        optimize_module(optimized)
+        opt_interp = Interpreter(optimized)
+        assert opt_interp.call("f", [16]) == reference
+
+        base_allocs = [a for a in base_interp.memory.allocations if a.site >= 0]
+        opt_allocs = [a for a in opt_interp.memory.allocations if a.site >= 0]
+        assert len(base_allocs) == len(opt_allocs)
+        for ba, oa in zip(base_allocs, opt_allocs):
+            assert ba.size == oa.size
+            assert base_interp.memory.read_bytes(ba.addr, ba.size) == \
+                opt_interp.memory.read_bytes(oa.addr, oa.size)
+
+
+class TestMem2Reg:
+    def test_scalars_promoted(self):
+        module = compile_c("int f(int a) { int x = a + 1; int y = x * 2; return y; }")
+        f = module.get_function("f")
+        promoted = promote_allocas(f)
+        assert promoted >= 2  # a's slot, x, y
+        assert not any(isinstance(i, Alloca) for i in f.instructions())
+        assert not any(isinstance(i, (Load, Store)) for i in f.instructions())
+
+    def test_phi_inserted_at_join(self):
+        module = compile_c(
+            "int f(int a) { int r; if (a > 0) r = 1; else r = 2; return r; }"
+        )
+        f = module.get_function("f")
+        promote_allocas(f)
+        phis = [i for i in f.instructions() if isinstance(i, Phi)]
+        assert len(phis) >= 1
+
+    def test_loop_variable_gets_header_phi(self):
+        module = compile_c(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        f = module.get_function("f")
+        promote_allocas(f)
+        header = next(b for b in f.blocks if b.name.startswith("for.cond"))
+        assert len(header.phis()) == 2  # i and s
+
+    def test_escaped_address_not_promoted(self):
+        module = compile_c(
+            "void g(int* p) { *p = 3; }"
+            "int f(void) { int x = 1; g(&x); return x; }"
+        )
+        f = module.get_function("f")
+        promote_allocas(f)
+        assert any(isinstance(i, Alloca) for i in f.instructions())
+        # And behaviour is preserved.
+        assert Interpreter(module).call("f", []) == 3
+
+    def test_aggregate_alloca_not_promoted(self):
+        module = compile_c(
+            "int f(void) { int buf[4]; buf[0] = 9; return buf[0]; }"
+        )
+        f = module.get_function("f")
+        assert promote_allocas(f) == 0
+
+
+class TestFolding:
+    def test_constant_arithmetic_folds(self):
+        module = compile_c("int f(void) { return (3 + 4) * 2 - 6 / 3; }")
+        f = module.get_function("f")
+        promote_allocas(f)
+        fold_constants(f)
+        eliminate_dead_code(f)
+        ret = f.blocks[0].terminator
+        # all the arithmetic folded into the return constant
+        from repro.ir import Constant
+        assert isinstance(ret.value, Constant)
+        assert ret.value.value == 12
+
+    def test_division_by_zero_not_folded(self):
+        module = compile_c("int f(int x) { return x + 1 / 0; }")
+        f = module.get_function("f")
+        promote_allocas(f)
+        fold_constants(f)
+        from repro.ir import BinaryOp
+        assert any(
+            isinstance(i, BinaryOp) and i.opcode == "sdiv" for i in f.instructions()
+        )
+
+    def test_identity_simplification(self):
+        module = compile_c("int f(int x) { return x * 1 + 0; }")
+        f = module.get_function("f")
+        promote_allocas(f)
+        fold_constants(f)
+        eliminate_dead_code(f)
+        ret = f.blocks[0].terminator
+        assert ret.value is f.args[0]
+
+
+class TestSimplifyCfg:
+    def test_dead_branch_removed(self):
+        module = compile_c(
+            "int f(int x) { if (0) return 1; return 2; }"
+        )
+        f = module.get_function("f")
+        optimize_module(module)
+        assert Interpreter(module).call("f", [0]) == 2
+        # The 'return 1' block must be gone.
+        assert len(f.blocks) == 1
+
+    def test_straightline_merged(self):
+        module = compile_c("int f(int a) { int b = a + 1; { int c = b * 2; return c; } }")
+        optimize_module(module)
+        f = module.get_function("f")
+        assert len(f.blocks) == 1
+
+    def test_loop_structure_survives(self):
+        module = compile_c(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        optimize_module(module)
+        f = module.get_function("f")
+        from repro.analysis import LoopInfo
+        assert len(LoopInfo(f).loops) == 1
+        assert Interpreter(module).call("f", [10]) == 45
+
+
+class TestDce:
+    def test_unused_computation_removed(self):
+        module = compile_c("int f(int a) { int unused = a * 37; return a; }")
+        f = module.get_function("f")
+        promote_allocas(f)
+        before = sum(1 for _ in f.instructions())
+        eliminate_dead_code(f)
+        after = sum(1 for _ in f.instructions())
+        assert after < before
+
+    def test_stores_kept(self):
+        module = compile_c(
+            "void* malloc(int n);"
+            "int f(void) { int* p = (int*)malloc(4); *p = 5; return *p; }"
+        )
+        optimize_module(module)
+        assert Interpreter(module).call("f", []) == 5

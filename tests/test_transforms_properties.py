@@ -1,0 +1,78 @@
+"""Property tests for the optimizer: idempotence and random-program safety."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import print_module, verify_module
+from repro.transforms import optimize_module
+
+BIN_OPS = ["+", "-", "*", "&", "|", "^"]
+CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+@st.composite
+def random_program(draw):
+    """A small structured integer program with loops and branches."""
+    n_stmts = draw(st.integers(1, 4))
+    lines = ["int s = 1;"]
+    for k in range(n_stmts):
+        kind = draw(st.integers(0, 3))
+        op = draw(st.sampled_from(BIN_OPS))
+        cmp = draw(st.sampled_from(CMP_OPS))
+        c1 = draw(st.integers(-10, 10))
+        c2 = draw(st.integers(1, 8))
+        if kind == 0:
+            lines.append(f"s = s {op} {c1};")
+        elif kind == 1:
+            lines.append(f"if (s {cmp} {c1}) s = s {op} {c2}; else s = s - 1;")
+        elif kind == 2:
+            lines.append(
+                f"for (int i{k} = 0; i{k} < {c2}; i{k}++) s = s {op} i{k};"
+            )
+        else:
+            lines.append(f"{{ int t{k} = a {op} {c1}; s = s + t{k}; }}")
+    body = "\n            ".join(lines)
+    return f"""
+        int f(int a) {{
+            {body}
+            return s;
+        }}
+    """
+
+
+class TestOptimizerProperties:
+    @given(random_program(), st.integers(-100, 100))
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_optimization_preserves_behaviour(self, source, arg):
+        baseline = compile_c(source)
+        expected = Interpreter(baseline).call("f", [arg])
+        optimized = compile_c(source)
+        optimize_module(optimized)
+        verify_module(optimized)
+        assert Interpreter(optimized).call("f", [arg]) == expected
+
+    @given(random_program())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_optimization_idempotent(self, source):
+        module = compile_c(source)
+        optimize_module(module)
+        once = print_module(module)
+        optimize_module(module)
+        twice = print_module(module)
+        assert once == twice
+
+    @given(random_program())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_optimization_never_grows_code(self, source):
+        module = compile_c(source)
+        before = sum(1 for f in module.functions.values()
+                     for _ in f.instructions())
+        optimize_module(module)
+        after = sum(1 for f in module.functions.values()
+                    for _ in f.instructions())
+        assert after <= before

@@ -1,0 +1,117 @@
+"""Focused tests for CFG simplification rewrites."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.interp import Interpreter
+from repro.ir import (
+    BOOL,
+    CondBranch,
+    Constant,
+    FunctionType,
+    I32,
+    IRBuilder,
+    Jump,
+    Module,
+    verify_function,
+)
+from repro.transforms import simplify_cfg
+
+
+class TestConstantBranches:
+    def test_true_branch_folded(self):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(I32, []), [])
+        entry = f.new_block("entry")
+        taken = f.new_block("taken")
+        dead = f.new_block("dead")
+        b = IRBuilder(entry)
+        b.cond_branch(IRBuilder.const_bool(True), taken, dead)
+        b.set_block(taken)
+        b.ret(b.const_int(1))
+        b.set_block(dead)
+        b.ret(b.const_int(2))
+        simplify_cfg(f)
+        verify_function(f)
+        names = {blk.name for blk in f.blocks}
+        assert "dead" not in names
+        assert Interpreter(m).call("f", []) == 1
+
+    def test_same_target_condbr_becomes_jump(self):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(I32, [I32]), ["x"])
+        entry = f.new_block("entry")
+        only = f.new_block("only")
+        b = IRBuilder(entry)
+        cond = b.icmp("sgt", f.args[0], b.const_int(0))
+        b.cond_branch(cond, only, only)
+        b.set_block(only)
+        b.ret(f.args[0])
+        simplify_cfg(f)
+        verify_function(f)
+        assert isinstance(f.blocks[0].terminator, Jump) or len(f.blocks) == 1
+
+    def test_phi_arm_from_folded_branch_removed(self):
+        src = """
+        int f(int x) {
+            int r;
+            if (1) r = x + 1;
+            else r = x - 1;
+            return r;
+        }
+        """
+        module = compile_c(src)
+        fn = module.get_function("f")
+        from repro.transforms import optimize_function
+        optimize_function(fn)
+        assert Interpreter(module).call("f", [10]) == 11
+
+
+class TestChainMerging:
+    def test_long_jump_chain_collapses(self):
+        m = Module("m")
+        f = m.new_function("f", FunctionType(I32, [I32]), ["x"])
+        blocks = [f.new_block(f"b{i}") for i in range(6)]
+        b = IRBuilder(None)
+        for i in range(5):
+            b.set_block(blocks[i])
+            b.jump(blocks[i + 1])
+        b.set_block(blocks[5])
+        b.ret(f.args[0])
+        simplify_cfg(f)
+        verify_function(f)
+        assert len(f.blocks) == 1
+        assert Interpreter(m).call("f", [9]) == 9
+
+    def test_merge_preserves_loop_back_edges(self):
+        src = (
+            "int f(int n) { int s = 0;"
+            " for (int i = 0; i < n; i++) { s += i; } return s; }"
+        )
+        module = compile_c(src)
+        fn = module.get_function("f")
+        from repro.transforms import optimize_function
+        optimize_function(fn)
+        from repro.analysis import LoopInfo
+        loops = LoopInfo(fn).loops
+        assert len(loops) == 1
+        assert Interpreter(module).call("f", [6]) == 15
+
+    def test_diamond_with_phi_not_overmerged(self):
+        src = """
+        int f(int x) {
+            int r;
+            if (x > 0) r = x * 2;
+            else r = x * 3;
+            return r;
+        }
+        """
+        module = compile_c(src)
+        fn = module.get_function("f")
+        from repro.transforms import optimize_function
+        optimize_function(fn)
+        assert Interpreter(module).call("f", [5]) == 10
+        module2 = compile_c(src)
+        from repro.transforms import optimize_module
+        optimize_module(module2)
+        assert Interpreter(module2).call("f", [-5]) == -15
