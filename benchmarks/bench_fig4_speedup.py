@@ -4,7 +4,12 @@ Regenerates the bar chart's two series (LegUp and CGPA, normalised to the
 MIPS core) plus the geomeans.  Shape targets from the paper: LegUp ~1.85x
 geomean, CGPA ~6.0x geomean over MIPS and 3.3x (3.0x-3.8x) over LegUp.
 The benchmarked quantity is one full CGPA hardware simulation (em3d).
+
+Pass ``--json <path>`` to also write the speedup series as JSON, so the
+perf trajectory across PRs is machine-readable (BENCH_*.json tracking).
 """
+
+import json
 
 from conftest import emit
 
@@ -12,12 +17,34 @@ from repro.harness import figure4, format_figure4, run_backend
 from repro.kernels import EM3D
 
 
-def test_figure4_speedups(benchmark, all_runs, results_dir):
+def test_figure4_speedups(benchmark, all_runs, results_dir, json_path):
     benchmark.pedantic(
         lambda: run_backend(EM3D, "cgpa-p1"), rounds=1, iterations=1
     )
     data = figure4(all_runs)
     emit(results_dir, "fig4_speedup", format_figure4(data))
+    if json_path:
+        payload = {
+            "figure": "fig4_speedup",
+            "kernels": [
+                {
+                    "kernel": r.kernel,
+                    "legup_speedup": r.legup_speedup,
+                    "cgpa_speedup": r.cgpa_speedup,
+                    "paper_legup": r.paper_legup,
+                    "paper_cgpa": r.paper_cgpa,
+                    "mips_cycles": all_runs[r.kernel].results["mips"].cycles,
+                    "legup_cycles": all_runs[r.kernel].results["legup"].cycles,
+                    "cgpa_cycles": all_runs[r.kernel].results["cgpa-p1"].cycles,
+                }
+                for r in data.rows
+            ],
+            "geomean_legup": data.geomean_legup,
+            "geomean_cgpa": data.geomean_cgpa,
+            "geomean_cgpa_over_legup": data.geomean_cgpa_over_legup,
+        }
+        with open(json_path, "w") as fp:
+            json.dump(payload, fp, indent=2)
 
     # Shape assertions: who wins, by roughly what factor.
     for row in data.rows:

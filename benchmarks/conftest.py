@@ -9,6 +9,20 @@ from repro.harness import run_all_kernels
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json", action="store", default=None, metavar="PATH",
+        help="also write machine-readable benchmark results (fig4 speedups)"
+        " to PATH for BENCH_*.json perf tracking",
+    )
+
+
+@pytest.fixture(scope="session")
+def json_path(request):
+    """Target path for machine-readable results (None when not requested)."""
+    return request.config.getoption("--json")
+
+
 @pytest.fixture(scope="session")
 def all_runs():
     """Simulations of all five kernels on mips/legup/cgpa-p1(/p2)."""

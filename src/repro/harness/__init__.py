@@ -21,8 +21,10 @@ from .experiments import (
     tradeoff,
 )
 from .report import (
+    format_bottlenecks,
     format_figure4,
     format_scalability,
+    format_stall_breakdown,
     format_table2,
     format_table3,
     format_tradeoff,
@@ -46,5 +48,5 @@ __all__ = [
     "Fig4Data", "Table2Row", "Table3Row", "TradeoffRow",
     "alut_overhead_geomean", "energy_overhead_geomean",
     "format_figure4", "format_table2", "format_table3", "format_tradeoff",
-    "format_scalability",
+    "format_scalability", "format_stall_breakdown", "format_bottlenecks",
 ]

@@ -5,27 +5,109 @@ Usage::
     python -m repro.harness                # everything (Table 2/3, Fig 4, tradeoff)
     python -m repro.harness --kernel em3d  # one kernel, all backends
     python -m repro.harness --scalability  # the Appendix B.1 worker sweep
+    python -m repro.harness trace ks       # traced run: Chrome trace + VCD
+                                           # + bottleneck analysis on disk
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from ..kernels import ALL_KERNELS, KERNELS_BY_NAME
+from ..telemetry import (
+    MemoryTraceSink,
+    analyze,
+    dump_chrome_trace,
+    dump_vcd,
+)
 from .experiments import figure4, run_all_kernels, scalability, table2, table3, tradeoff
 from .report import (
+    format_bottlenecks,
     format_figure4,
     format_scalability,
+    format_stall_breakdown,
     format_table2,
     format_table3,
     format_tradeoff,
 )
-from .runner import run_kernel
+from .runner import run_backend, run_kernel
+
+
+def trace_main(argv: list[str]) -> int:
+    """``python -m repro.harness trace <kernel>`` — traced simulation."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness trace",
+        description="Run one kernel with cycle tracing enabled and write "
+        "a chrome://tracing JSON, a VCD waveform, and a stall/bottleneck "
+        "analysis.",
+    )
+    parser.add_argument(
+        "kernel", choices=sorted(KERNELS_BY_NAME),
+        help="kernel to trace",
+    )
+    parser.add_argument(
+        "--backend", default="cgpa-p1",
+        choices=["legup", "cgpa-p1", "cgpa-p2", "cgpa-none"],
+        help="hardware backend to trace (default: cgpa-p1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel-stage worker count (paper default: 4)",
+    )
+    parser.add_argument(
+        "--fifo-depth", type=int, default=16,
+        help="FIFO entries per channel (paper default: 16)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("traces"),
+        help="output directory (default: ./traces)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = KERNELS_BY_NAME[args.kernel]
+    sink = MemoryTraceSink()
+    result = run_backend(
+        spec, args.backend, n_workers=args.workers,
+        fifo_depth=args.fifo_depth, sink=sink,
+    )
+    sim = result.sim
+    assert sim is not None  # hardware backends always carry a SimReport
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    stem = f"{spec.name}_{args.backend}"
+    trace_path = args.out / f"{stem}.trace.json"
+    vcd_path = args.out / f"{stem}.vcd"
+    analysis_path = args.out / f"{stem}.bottleneck.txt"
+
+    dump_chrome_trace(sink, str(trace_path))
+    dump_vcd(sink, str(vcd_path))
+    analysis = analyze(sim, sink)
+    analysis_text = (
+        format_stall_breakdown(sim, kernel=spec.name)
+        + "\n\n"
+        + format_bottlenecks(analysis)
+    )
+    analysis_path.write_text(analysis_text + "\n")
+
+    print(f"{spec.name} on {args.backend}: {sim.cycles} cycles "
+          f"({sim.invocations} invocations)")
+    print(f"  chrome trace : {trace_path}  (open in chrome://tracing)")
+    print(f"  vcd waveform : {vcd_path}")
+    print(f"  analysis     : {analysis_path}")
+    print()
+    print(analysis_text)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and run the requested experiment set."""
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -57,6 +139,10 @@ def main(argv: list[str] | None = None) -> int:
             extra = f" partition={result.signature}" if result.signature else ""
             print(f"  {backend:8s}: {result.cycles:8d} cycles "
                   f"({mips / result.cycles:5.2f}x vs MIPS){extra}")
+        cgpa = run.results.get("cgpa-p1")
+        if cgpa is not None and cgpa.sim is not None:
+            print()
+            print(format_stall_breakdown(cgpa.sim, kernel=spec.name))
         return 0
 
     if args.scalability:

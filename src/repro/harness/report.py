@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from ..telemetry.events import ALL_CATEGORIES
 from .experiments import (
     Fig4Data,
     Table2Row,
@@ -11,6 +14,10 @@ from .experiments import (
     alut_overhead_geomean,
     energy_overhead_geomean,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.system import SimReport
+    from ..telemetry.bottleneck import BottleneckReport
 
 
 def _table(headers: list[str], rows: list[list[str]]) -> str:
@@ -141,3 +148,48 @@ def format_scalability(points: list[ScalabilityPoint]) -> str:
     ]
     table = _table(["Benchmark", "Workers", "Cycles", "Speedup vs 1"], body)
     return "Appendix B.1: parallel-worker scalability\n" + table
+
+
+def format_stall_breakdown(sim: "SimReport", kernel: str | None = None) -> str:
+    """Render one run's per-worker stall attribution as a table.
+
+    Each row partitions that worker's ``sim.cycles`` clock edges into the
+    six cycle categories (so every row's counts sum to the same total).
+    """
+    headers = ["Worker", "cycles"] + [c.value for c in ALL_CATEGORIES]
+    body = []
+    for name, counts in sim.stall_breakdown.items():
+        total = sum(counts.values())
+        body.append(
+            [name, str(total)]
+            + [
+                f"{counts[c.value]} ({100 * counts[c.value] / total:.0f}%)"
+                if total else "0"
+                for c in ALL_CATEGORIES
+            ]
+        )
+    title = "Per-worker stall breakdown"
+    if kernel:
+        title += f" ({kernel})"
+    return title + "\n" + _table(headers, body)
+
+
+def format_bottlenecks(analysis: "BottleneckReport") -> str:
+    """Render a bottleneck analysis (critical stage + recommendations).
+
+    Companion to :func:`format_stall_breakdown` (which renders the full
+    table); this part only summarises — pair them for a complete report.
+    """
+    lines = []
+    if analysis.critical_worker is not None:
+        lines.append(
+            f"Critical stage: {analysis.critical_worker} "
+            f"({analysis.worker(analysis.critical_worker).stall_cycles} "
+            f"stall cycles of {analysis.total_cycles} total)"
+        )
+    else:
+        lines.append("Critical stage: none (no worker stalled)")
+    if analysis.recommendations:
+        lines.append("Recommendations:")
+        lines.extend(f"  - {r}" for r in analysis.recommendations)
+    return "\n".join(lines)

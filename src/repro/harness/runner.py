@@ -34,6 +34,7 @@ from ..interp import Interpreter, Memory, to_unsigned
 from ..ir import I32
 from ..kernels import KARGS_GLOBAL, KernelSpec
 from ..pipeline import CompiledPipeline, ReplicationPolicy, cgpa_compile
+from ..telemetry.events import TraceSink
 from ..transforms import optimize_module
 
 DEFAULT_BACKENDS = ("mips", "legup", "cgpa-p1")
@@ -139,8 +140,15 @@ def run_backend(
     n_workers: int = 4,
     fifo_depth: int = 16,
     cache_kwargs: dict | None = None,
+    sink: TraceSink | None = None,
 ) -> BackendResult:
-    """Compile, simulate and score one kernel on one backend."""
+    """Compile, simulate and score one kernel on one backend.
+
+    ``sink`` attaches a telemetry receiver (e.g. a
+    :class:`~repro.telemetry.events.MemoryTraceSink`) to the simulated
+    accelerator — only meaningful for the hardware backends (``legup``,
+    ``cgpa-*``); the MIPS cost model has no cycle-level FSM to trace.
+    """
     cache_kwargs = dict(cache_kwargs or {})
     if backend == "mips":
         module = compile_c(spec.source, spec.name)
@@ -169,6 +177,7 @@ def run_backend(
             module, memory,
             cache=DirectMappedCache(**cache_kwargs),
             global_addresses=globals_,
+            sink=sink,
         )
         sim = system.run(spec.measure_entry, args)
         area = single_module_area(module.get_function(spec.measure_entry))
@@ -210,6 +219,7 @@ def run_backend(
             channels=compiled.result.channels,
             cache=DirectMappedCache(**cache_kwargs),
             global_addresses=globals_,
+            sink=sink,
         )
         sim = system.run(spec.measure_entry, args)
         area = _cgpa_area(compiled)

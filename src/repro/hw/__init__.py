@@ -1,5 +1,6 @@
 """Cycle-accurate hardware substrate: workers, FIFOs, cache, MIPS core."""
 
+from ..telemetry.events import MemoryTraceSink, NULL_SINK, NullSink, TraceSink
 from .cache import CacheStats, DirectMappedCache
 from .fifo import FifoBuffer, FifoStats
 from .mips_core import MipsResult, run_on_mips
@@ -12,4 +13,5 @@ __all__ = [
     "AcceleratorSystem", "SimReport",
     "HwWorker", "WorkerStats",
     "run_on_mips", "MipsResult",
+    "TraceSink", "NullSink", "NULL_SINK", "MemoryTraceSink",
 ]

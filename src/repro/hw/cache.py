@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..telemetry.events import NULL_SINK, TraceSink
+
 
 @dataclass
 class CacheStats:
@@ -65,6 +67,7 @@ class DirectMappedCache:
         self._port_usage: dict[int, int] = {}
         self._memory_free_at = 0
         self.stats = CacheStats()
+        self.sink: TraceSink = NULL_SINK
 
     def _index_and_tag(self, addr: int) -> tuple[int, int]:
         block = addr // self.block_size
@@ -82,7 +85,8 @@ class DirectMappedCache:
         """
         start = self._arbitrate(cycle)
         index, tag = self._index_and_tag(addr)
-        if self._tags[index] == tag:
+        hit = self._tags[index] == tag
+        if hit:
             self.stats.hits += 1
             ready = start + self.hit_latency
         else:
@@ -98,6 +102,8 @@ class DirectMappedCache:
                 self._prefetch_line(addr + self.block_size)
         if is_write:
             self._dirty[index] = True
+        if self.sink.enabled:
+            self.sink.cache_access(cycle, addr, is_write, hit, ready)
         return ready
 
     def _prefetch_line(self, addr: int) -> None:

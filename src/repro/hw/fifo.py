@@ -5,14 +5,20 @@ One :class:`FifoBuffer` materialises one compiler
 (one per consumer worker), each ``depth`` entries deep.  Pushes to a full
 queue and pops from an empty queue stall the issuing FSM — the mechanism
 that lets the pipeline tolerate variable memory latency (Section 2.2).
+
+Occupancy changes are reported to the attached telemetry sink (the
+zero-overhead :data:`~repro.telemetry.events.NULL_SINK` by default), so a
+traced run can reconstruct every queue's fill level over time.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..errors import SimulationError
 from ..ir.primitives import Channel
+from ..telemetry.events import NULL_SINK, TraceSink
 
 
 @dataclass
@@ -24,15 +30,25 @@ class FifoStats:
     full_stall_cycles: int = 0
     empty_stall_cycles: int = 0
     max_occupancy: int = 0
+    #: Static geometry, mirrored here so post-hoc analysis
+    #: (:mod:`repro.telemetry.bottleneck`) can tell saturation from slack.
+    depth: int = 0
+    n_queues: int = 0
 
 
 class FifoBuffer:
     """Bounded multi-queue FIFO with stall accounting."""
 
-    def __init__(self, channel: Channel) -> None:
+    def __init__(self, channel: Channel, sink: TraceSink = NULL_SINK) -> None:
         self.channel = channel
         self.queues: list[deque] = [deque() for _ in range(channel.n_channels)]
-        self.stats = FifoStats()
+        self.stats = FifoStats(depth=channel.depth, n_queues=channel.n_channels)
+        self.sink = sink
+
+    @property
+    def name(self) -> str:
+        """Display name, matching the ``SimReport.fifo_stats`` keys."""
+        return f"buf{self.channel.channel_id}:{self.channel.name}"
 
     # -- capacity ----------------------------------------------------------------
 
@@ -47,33 +63,53 @@ class FifoBuffer:
 
     # -- data ---------------------------------------------------------------------
 
-    def push(self, index: int, value) -> None:
-        assert self.can_push(index), "push to full FIFO"
+    def push(self, index: int, value, cycle: int = 0) -> None:
+        if not self.can_push(index):
+            raise SimulationError(
+                f"{self.name}: push to full queue {index} "
+                f"(depth {self.channel.depth})"
+            )
         self.queues[index].append(value)
         self.stats.pushes += 1
         self.stats.max_occupancy = max(
             self.stats.max_occupancy, len(self.queues[index])
         )
+        if self.sink.enabled:
+            self.sink.fifo_occupancy(
+                self.name, index, cycle, len(self.queues[index])
+            )
 
-    def push_broadcast(self, value) -> None:
-        assert self.can_push_broadcast(), "broadcast to full FIFO"
-        for queue in self.queues:
+    def push_broadcast(self, value, cycle: int = 0) -> None:
+        if not self.can_push_broadcast():
+            raise SimulationError(f"{self.name}: broadcast push to full buffer")
+        for index, queue in enumerate(self.queues):
             queue.append(value)
             self.stats.max_occupancy = max(self.stats.max_occupancy, len(queue))
+            if self.sink.enabled:
+                self.sink.fifo_occupancy(self.name, index, cycle, len(queue))
         self.stats.pushes += len(self.queues)
 
-    def pop(self, index: int):
-        assert self.can_pop(index), "pop from empty FIFO"
+    def pop(self, index: int, cycle: int = 0):
+        if not self.can_pop(index):
+            raise SimulationError(f"{self.name}: pop from empty queue {index}")
         self.stats.pops += 1
-        return self.queues[index].popleft()
+        value = self.queues[index].popleft()
+        if self.sink.enabled:
+            self.sink.fifo_occupancy(
+                self.name, index, cycle, len(self.queues[index])
+            )
+        return value
 
     def occupancy(self, index: int) -> int:
         return len(self.queues[index])
 
-    def reset(self) -> None:
+    def reset(self, cycle: int = 0) -> None:
         """Flush all queues (accelerator start signal)."""
-        for queue in self.queues:
+        for index, queue in enumerate(self.queues):
+            had = bool(queue)
             queue.clear()
+            if had and self.sink.enabled:
+                self.sink.fifo_occupancy(self.name, index, cycle, 0)
 
     #: BRAM bits occupied by this buffer (32-bit slots x depth x queues).
     @property

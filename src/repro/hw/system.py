@@ -20,6 +20,7 @@ from ..ir.instructions import ParallelFork
 from ..ir.module import Module
 from ..ir.primitives import Channel, ChannelPlan
 from ..rtl.schedule import FunctionSchedule, schedule_function
+from ..telemetry.events import NULL_SINK, TraceSink
 from .cache import CacheStats, DirectMappedCache
 from .fifo import FifoBuffer
 from .worker import HwWorker, WorkerStats
@@ -43,6 +44,18 @@ class SimReport:
             sum(stats.ops_executed.values()) for stats in self.worker_stats.values()
         )
 
+    @property
+    def stall_breakdown(self) -> dict[str, dict[str, int]]:
+        """Per-worker cycles by stall category (cycle-conserving).
+
+        For every worker the category counts sum exactly to ``cycles``:
+        each simulated cycle of each worker lands in exactly one bucket
+        (see :class:`~repro.telemetry.events.CycleCategory`).
+        """
+        return {
+            name: stats.breakdown() for name, stats in self.worker_stats.items()
+        }
+
 
 class AcceleratorSystem:
     """Container wiring workers, FIFO buffers and the shared D-cache."""
@@ -56,6 +69,7 @@ class AcceleratorSystem:
         global_addresses: dict[str, int] | None = None,
         max_cycles: int = 500_000_000,
         private_caches: bool = False,
+        sink: TraceSink | None = None,
     ) -> None:
         """``private_caches`` models the memory-partitioning option of the
         paper's Appendix B.1: each worker gets its own single-ported cache
@@ -64,7 +78,11 @@ class AcceleratorSystem:
         stage; data always comes from the shared functional memory.)"""
         self.module = module
         self.memory = memory
+        #: Telemetry receiver; the do-nothing default costs one boolean
+        #: check per instrumented event site.
+        self.sink: TraceSink = sink if sink is not None else NULL_SINK
         self.cache = cache if cache is not None else DirectMappedCache()
+        self.cache.sink = self.sink
         self.private_caches = private_caches
         self._private_cache_pool: list[DirectMappedCache] = []
         self.max_cycles = max_cycles
@@ -76,7 +94,7 @@ class AcceleratorSystem:
         self._fifos: dict[int, FifoBuffer] = {}
         if channels is not None:
             for channel in channels:
-                self._fifos[id(channel)] = FifoBuffer(channel)
+                self._fifos[id(channel)] = FifoBuffer(channel, sink=self.sink)
         self.liveout_regs: dict[int, int | float] = {}
         self._workers: list[HwWorker] = []
         self._loop_groups: dict[int, list[HwWorker]] = {}
@@ -92,7 +110,7 @@ class AcceleratorSystem:
 
     def fifo_for(self, channel: Channel) -> FifoBuffer:
         if id(channel) not in self._fifos:
-            self._fifos[id(channel)] = FifoBuffer(channel)
+            self._fifos[id(channel)] = FifoBuffer(channel, sink=self.sink)
         return self._fifos[id(channel)]
 
     def cache_for_new_worker(self) -> DirectMappedCache:
@@ -108,6 +126,7 @@ class AcceleratorSystem:
             hit_latency=self.cache.hit_latency,
             miss_penalty=self.cache.miss_penalty,
         )
+        slice_.sink = self.sink
         self._private_cache_pool.append(slice_)
         return slice_
 
@@ -137,12 +156,12 @@ class AcceleratorSystem:
     def join_ready(self, loop_id: int) -> bool:
         return all(w.done for w in self._loop_groups.get(loop_id, []))
 
-    def finish_join(self, loop_id: int) -> None:
+    def finish_join(self, loop_id: int, cycle: int = 0) -> None:
         """Join completed: retire workers and re-arm FIFOs for reinvocation."""
         self._loop_groups.pop(loop_id, None)
         self.invocations += 1
         for fifo in self._fifos.values():
-            fifo.reset()
+            fifo.reset(cycle)
 
     def worker_finished(self, worker: HwWorker) -> None:
         pass  # finish signal is polled via join_ready
@@ -155,6 +174,8 @@ class AcceleratorSystem:
         main = HwWorker(f"{entry.name}#top", entry, args, self)
         main.return_value = None
         self._workers.append(main)
+        if self.sink.enabled:
+            self.sink.begin_run([main.name])
 
         cycle = 0
         last_progress = -1
@@ -174,13 +195,12 @@ class AcceleratorSystem:
                 last_progress = progress
 
         self._workers.remove(main)
+        if self.sink.enabled:
+            self.sink.end_run(cycle)
         worker_stats = {main.name: main.stats}
         for worker in self._workers:
             worker_stats[worker.name] = worker.stats
-        fifo_stats = {
-            f"buf{f.channel.channel_id}:{f.channel.name}": f.stats
-            for f in self._fifos.values()
-        }
+        fifo_stats = {f.name: f.stats for f in self._fifos.values()}
         report = SimReport(
             cycles=cycle,
             return_value=main.return_value,

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
 from ..interp.ops import eval_binop, eval_cast, eval_fcmp, eval_gep, eval_icmp
+from ..telemetry.events import CycleCategory
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -54,12 +55,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class WorkerStats:
-    """Per-worker activity counters (feed the power model)."""
+    """Per-worker activity counters (feed the power model and telemetry).
+
+    The five cycle counters partition the worker's lifetime: every tick
+    increments exactly one of them, so their sum equals the cycles the
+    worker was clocked (the conservation invariant the telemetry tests
+    verify).
+    """
 
     active_cycles: int = 0
     idle_cycles: int = 0
     mem_stall_cycles: int = 0
-    fifo_stall_cycles: int = 0
+    fifo_full_stall_cycles: int = 0
+    fifo_empty_stall_cycles: int = 0
     join_stall_cycles: int = 0
     ops_executed: Counter = field(default_factory=Counter)
     loads: int = 0
@@ -68,13 +76,30 @@ class WorkerStats:
     fifo_pops: int = 0
 
     @property
+    def fifo_stall_cycles(self) -> int:
+        return self.fifo_full_stall_cycles + self.fifo_empty_stall_cycles
+
+    @property
     def total_cycles(self) -> int:
         return (
             self.active_cycles
+            + self.idle_cycles
             + self.mem_stall_cycles
-            + self.fifo_stall_cycles
+            + self.fifo_full_stall_cycles
+            + self.fifo_empty_stall_cycles
             + self.join_stall_cycles
         )
+
+    def breakdown(self) -> dict[str, int]:
+        """Cycles by :class:`~repro.telemetry.events.CycleCategory` value."""
+        return {
+            CycleCategory.COMPUTE.value: self.active_cycles,
+            CycleCategory.CACHE.value: self.mem_stall_cycles,
+            CycleCategory.FIFO_FULL.value: self.fifo_full_stall_cycles,
+            CycleCategory.FIFO_EMPTY.value: self.fifo_empty_stall_cycles,
+            CycleCategory.JOIN.value: self.join_stall_cycles,
+            CycleCategory.IDLE.value: self.idle_cycles,
+        }
 
 
 class _Frame:
@@ -121,6 +146,14 @@ class HwWorker:
         self.worker_id = worker_id
         self.start_cycle = start_cycle
         self.stats = WorkerStats()
+        self._sink = system.sink
+        self._trace = system.sink.enabled
+        # Cycles before this worker existed (fork at start_cycle - 1) are
+        # reset time; pre-seeding them keeps the per-worker conservation
+        # invariant exact: category cycles always sum to the run's total.
+        self.stats.idle_cycles += start_cycle
+        if self._trace and start_cycle > 0:
+            self._sink.worker_span(name, CycleCategory.IDLE, 0, start_cycle)
         self.done = False
         self._waiting_until = 0
         self._pending_mem: tuple[Instruction, int] | None = None
@@ -157,14 +190,31 @@ class HwWorker:
     # -- main clock edge ----------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
+        """Advance one clock edge, attributing the cycle to one category."""
+        category = self._tick(cycle)
+        stats = self.stats
+        if category is CycleCategory.COMPUTE:
+            stats.active_cycles += 1
+        elif category is CycleCategory.CACHE:
+            stats.mem_stall_cycles += 1
+        elif category is CycleCategory.FIFO_FULL:
+            stats.fifo_full_stall_cycles += 1
+        elif category is CycleCategory.FIFO_EMPTY:
+            stats.fifo_empty_stall_cycles += 1
+        elif category is CycleCategory.JOIN:
+            stats.join_stall_cycles += 1
+        else:
+            stats.idle_cycles += 1
+        if self._trace:
+            self._sink.worker_cycle(self.name, cycle, category)
+
+    def _tick(self, cycle: int) -> CycleCategory:
         if self.done:
-            return
+            return CycleCategory.IDLE
         if cycle < self.start_cycle:
-            self.stats.idle_cycles += 1
-            return
+            return CycleCategory.IDLE
         if cycle < self._waiting_until:
-            self.stats.mem_stall_cycles += 1
-            return
+            return CycleCategory.CACHE
         if self._pending_mem is not None:
             self._complete_memory()
         frame = self._frames[-1]
@@ -176,16 +226,23 @@ class HwWorker:
         while frame.cursor < len(ops):
             inst = ops[frame.cursor]
             outcome = self._execute(frame, inst, cycle)
-            if outcome == "wait":
-                return
+            if outcome == "wait_mem":
+                # Issue cycle of a load/store whose data isn't ready yet.
+                return CycleCategory.CACHE
+            if outcome == "wait_full":
+                return CycleCategory.FIFO_FULL
+            if outcome == "wait_empty":
+                return CycleCategory.FIFO_EMPTY
+            if outcome == "wait_join":
+                return CycleCategory.JOIN
             if outcome in ("call", "ret", "branch"):
-                self.stats.active_cycles += 1
                 self.progress += 1
-                return
+                if self._trace and not self.done:
+                    self._emit_state(cycle)
+                return CycleCategory.COMPUTE
             frame.cursor += 1
             self.progress += 1
         # State complete: advance within the block (one state per cycle).
-        self.stats.active_cycles += 1
         self.progress += 1
         frame.state += 1
         frame.cursor = 0
@@ -194,6 +251,18 @@ class HwWorker:
                 f"worker {self.name}: fell off the end of block "
                 f"{frame.block.short_name()} (missing terminator?)"
             )
+        if self._trace:
+            self._emit_state(cycle)
+        return CycleCategory.COMPUTE
+
+    def _emit_state(self, cycle: int) -> None:
+        frame = self._frames[-1]
+        self._sink.worker_state(
+            self.name,
+            cycle,
+            f"{frame.function.name}:{frame.block.short_name()}",
+            frame.state,
+        )
 
     def _complete_memory(self) -> None:
         inst, addr = self._pending_mem  # type: ignore[misc]
@@ -243,38 +312,34 @@ class HwWorker:
         if isinstance(inst, Load):
             addr = int(self._value(frame, inst.pointer))
             ready = self.cache.access(addr, False, cycle)
-            self.stats.ops_executed["load"] -= 1  # counted on completion
             self.stats.loads += 1
-            self.stats.ops_executed["load"] += 1
             self._pending_mem = (inst, addr)
             self._waiting_until = ready
-            return "wait"
+            return "wait_mem"
         if isinstance(inst, Store):
             addr = int(self._value(frame, inst.pointer))
             ready = self.cache.access(addr, True, cycle)
             self.stats.stores += 1
             self._pending_mem = (inst, addr)
             self._waiting_until = ready
-            return "wait"
+            return "wait_mem"
         if isinstance(inst, Produce):
             fifo = self.system.fifo_for(inst.channel)
             index = int(self._value(frame, inst.worker_select)) % inst.channel.n_channels
             if not fifo.can_push(index):
                 fifo.stats.full_stall_cycles += 1
-                self.stats.fifo_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
-                return "wait"
-            fifo.push(index, self._value(frame, inst.value))
+                return "wait_full"
+            fifo.push(index, self._value(frame, inst.value), cycle)
             self.stats.fifo_pushes += 1
             return "ok"
         if isinstance(inst, ProduceBroadcast):
             fifo = self.system.fifo_for(inst.channel)
             if not fifo.can_push_broadcast():
                 fifo.stats.full_stall_cycles += 1
-                self.stats.fifo_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
-                return "wait"
-            fifo.push_broadcast(self._value(frame, inst.value))
+                return "wait_full"
+            fifo.push_broadcast(self._value(frame, inst.value), cycle)
             self.stats.fifo_pushes += inst.channel.n_channels
             return "ok"
         if isinstance(inst, Consume):
@@ -285,10 +350,9 @@ class HwWorker:
                 index = self.worker_id % inst.channel.n_channels
             if not fifo.can_pop(index):
                 fifo.stats.empty_stall_cycles += 1
-                self.stats.fifo_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
-                return "wait"
-            frame.env[id(inst)] = fifo.pop(index)
+                return "wait_empty"
+            frame.env[id(inst)] = fifo.pop(index, cycle)
             self.stats.fifo_pops += 1
             return "ok"
         if isinstance(inst, StoreLiveout):
@@ -305,10 +369,9 @@ class HwWorker:
             return "ok"
         if isinstance(inst, ParallelJoin):
             if not self.system.join_ready(inst.loop_id):
-                self.stats.join_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
-                return "wait"
-            self.system.finish_join(inst.loop_id)
+                return "wait_join"
+            self.system.finish_join(inst.loop_id, cycle)
             return "ok"
         if isinstance(inst, Call):
             if inst.callee.is_declaration:

@@ -1,0 +1,145 @@
+"""Value Change Dump (IEEE 1364) waveform exporter.
+
+Renders a recorded :class:`~repro.telemetry.events.MemoryTraceSink` as a
+VCD file loadable in GTKWave & friends.  One timestep is one cycle.  Per
+worker it dumps two signals — the cycle category (``*_cat``, encoded per
+:data:`~repro.telemetry.events.CATEGORY_CODES`) and the FSM position
+(``*_fsm``, a dense encoding of (block, state) pairs; the legend is
+written into a ``$comment`` block in the header).  Each FIFO queue dumps
+its occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from .events import ALL_CATEGORIES, CATEGORY_CODES, MemoryTraceSink
+
+_ID_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact printable VCD identifier for signal number ``index``."""
+    chars = []
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, len(_ID_ALPHABET))
+        chars.append(_ID_ALPHABET[digit])
+    return "".join(reversed(chars))
+
+
+def _sanitize(name: str) -> str:
+    """VCD reference names cannot contain whitespace or VCD specials."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch in "_.:" else "_")
+    return "".join(out)
+
+
+def _bits(value: int, width: int) -> str:
+    return format(value, "b").zfill(width)
+
+
+class _Signal:
+    __slots__ = ("ident", "name", "width", "changes")
+
+    def __init__(self, ident: str, name: str, width: int) -> None:
+        self.ident = ident
+        self.name = name
+        self.width = width
+        self.changes: list[tuple[int, int]] = []
+
+
+def write_vcd(trace: MemoryTraceSink, fp: IO[str]) -> None:
+    """Serialise ``trace`` as a VCD waveform onto ``fp``."""
+    trace.flush()
+    signals: list[_Signal] = []
+
+    def new_signal(name: str, width: int) -> _Signal:
+        signal = _Signal(_identifier(len(signals)), _sanitize(name), width)
+        signals.append(signal)
+        return signal
+
+    # Worker category signals, driven by the span cover.
+    for worker in trace.worker_names:
+        signal = new_signal(f"{worker}_cat", 3)
+        for span in trace.spans_for(worker):
+            signal.changes.append((span.start, CATEGORY_CODES[span.category]))
+
+    # FSM position signals: dense (block, state) -> code encoding.
+    fsm_legend: dict[str, dict[tuple[str, int], int]] = {}
+    fsm_signals: dict[str, _Signal] = {}
+    for change in trace.state_changes:
+        if change.worker not in fsm_signals:
+            fsm_signals[change.worker] = new_signal(f"{change.worker}_fsm", 16)
+            fsm_legend[change.worker] = {}
+        legend = fsm_legend[change.worker]
+        key = (change.block, change.state)
+        code = legend.setdefault(key, len(legend))
+        fsm_signals[change.worker].changes.append((change.cycle, code))
+
+    # FIFO occupancy signals (one per queue).
+    fifo_signals: dict[tuple[str, int], _Signal] = {}
+    for sample in trace.occupancy:
+        key = (sample.fifo, sample.queue)
+        if key not in fifo_signals:
+            fifo_signals[key] = new_signal(
+                f"{sample.fifo}_q{sample.queue}_occ", 16
+            )
+        fifo_signals[key].changes.append((sample.cycle, sample.occupancy))
+
+    # -- header ------------------------------------------------------------------
+    fp.write("$date\n    (simulated)\n$end\n")
+    fp.write("$version\n    repro.telemetry VCD exporter\n$end\n")
+    fp.write("$comment\n    category encoding: ")
+    fp.write(
+        ", ".join(f"{CATEGORY_CODES[c]}={c.value}" for c in ALL_CATEGORIES)
+    )
+    fp.write("\n")
+    for worker, legend in fsm_legend.items():
+        pairs = ", ".join(
+            f"{code}={block}/s{state}"
+            for (block, state), code in sorted(legend.items(), key=lambda kv: kv[1])
+        )
+        fp.write(f"    {_sanitize(worker)}_fsm encoding: {pairs}\n")
+    fp.write("$end\n")
+    fp.write("$timescale 1ns $end\n")
+    fp.write("$scope module repro $end\n")
+    for signal in signals:
+        fp.write(f"$var reg {signal.width} {signal.ident} {signal.name} $end\n")
+    fp.write("$upscope $end\n")
+    fp.write("$enddefinitions $end\n")
+
+    # -- value changes ------------------------------------------------------------
+    # Merge per-signal change lists into one time-ordered dump.  Last
+    # change at a given time wins (occupancy samples within one cycle).
+    merged: dict[int, dict[str, tuple[int, int]]] = {}
+    for signal in signals:
+        for order, (cycle, value) in enumerate(signal.changes):
+            merged.setdefault(cycle, {})[signal.ident] = (value, signal.width)
+
+    fp.write("$dumpvars\n")
+    for signal in signals:
+        fp.write(f"bx {signal.ident}\n")
+    fp.write("$end\n")
+
+    last_value: dict[str, int] = {}
+    for cycle in sorted(merged):
+        lines = []
+        for ident, (value, width) in merged[cycle].items():
+            if last_value.get(ident) == value:
+                continue
+            last_value[ident] = value
+            lines.append(f"b{_bits(value, width)} {ident}\n")
+        if not lines:
+            continue
+        fp.write(f"#{cycle}\n")
+        fp.writelines(lines)
+    if trace.total_cycles is not None:
+        fp.write(f"#{trace.total_cycles}\n")
+
+
+def dump_vcd(trace: MemoryTraceSink, path: str) -> None:
+    """Write the VCD waveform for ``trace`` to ``path``."""
+    with open(path, "w") as fp:
+        write_vcd(trace, fp)
