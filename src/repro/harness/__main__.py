@@ -64,13 +64,18 @@ def trace_main(argv: list[str]) -> int:
         "--out", type=pathlib.Path, default=pathlib.Path("traces"),
         help="output directory (default: ./traces)",
     )
+    parser.add_argument(
+        "--engine", default="event", choices=["event", "lockstep"],
+        help="simulator clock loop: event-driven skip-ahead (default) or "
+        "the tick-every-cycle lockstep oracle; cycle counts are identical",
+    )
     args = parser.parse_args(argv)
 
     spec = KERNELS_BY_NAME[args.kernel]
     sink = MemoryTraceSink()
     result = run_backend(
         spec, args.backend, n_workers=args.workers,
-        fifo_depth=args.fifo_depth, sink=sink,
+        fifo_depth=args.fifo_depth, sink=sink, engine=args.engine,
     )
     sim = result.sim
     assert sim is not None  # hardware backends always carry a SimReport
@@ -125,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=4,
         help="parallel-stage worker count (paper default: 4)",
     )
+    parser.add_argument(
+        "--engine", default="event", choices=["event", "lockstep"],
+        help="simulator clock loop: event-driven skip-ahead (default) or "
+        "the tick-every-cycle lockstep oracle; cycle counts are identical",
+    )
     args = parser.parse_args(argv)
 
     if args.kernel:
@@ -132,7 +142,8 @@ def main(argv: list[str] | None = None) -> int:
         backends = ["mips", "legup", "cgpa-p1"]
         if spec.supports_p2:
             backends.append("cgpa-p2")
-        run = run_kernel(spec, tuple(backends), n_workers=args.workers)
+        run = run_kernel(spec, tuple(backends), n_workers=args.workers,
+                         engine=args.engine)
         mips = run.results["mips"].cycles
         print(f"{spec.name} ({spec.domain}): {spec.description}")
         for backend, result in run.results.items():

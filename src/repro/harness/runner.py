@@ -141,6 +141,7 @@ def run_backend(
     fifo_depth: int = 16,
     cache_kwargs: dict | None = None,
     sink: TraceSink | None = None,
+    engine: str = "event",
 ) -> BackendResult:
     """Compile, simulate and score one kernel on one backend.
 
@@ -148,6 +149,9 @@ def run_backend(
     :class:`~repro.telemetry.events.MemoryTraceSink`) to the simulated
     accelerator — only meaningful for the hardware backends (``legup``,
     ``cgpa-*``); the MIPS cost model has no cycle-level FSM to trace.
+
+    ``engine`` selects the simulator clock loop (``"event"`` skip-ahead
+    or the ``"lockstep"`` oracle); both report identical cycle counts.
     """
     cache_kwargs = dict(cache_kwargs or {})
     if backend == "mips":
@@ -178,6 +182,7 @@ def run_backend(
             cache=DirectMappedCache(**cache_kwargs),
             global_addresses=globals_,
             sink=sink,
+            engine=engine,
         )
         sim = system.run(spec.measure_entry, args)
         area = single_module_area(module.get_function(spec.measure_entry))
@@ -220,6 +225,7 @@ def run_backend(
             cache=DirectMappedCache(**cache_kwargs),
             global_addresses=globals_,
             sink=sink,
+            engine=engine,
         )
         sim = system.run(spec.measure_entry, args)
         area = _cgpa_area(compiled)
@@ -260,6 +266,7 @@ def run_kernel(
     fifo_depth: int = 16,
     cache_kwargs: dict | None = None,
     validate: bool = True,
+    engine: str = "event",
 ) -> KernelRun:
     """Run one kernel on all requested backends and cross-validate."""
     run = KernelRun(spec)
@@ -268,7 +275,7 @@ def run_kernel(
             continue
         run.results[backend] = run_backend(
             spec, backend, n_workers=n_workers, fifo_depth=fifo_depth,
-            cache_kwargs=cache_kwargs,
+            cache_kwargs=cache_kwargs, engine=engine,
         )
     if validate:
         run.validate()

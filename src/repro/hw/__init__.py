@@ -2,15 +2,16 @@
 
 from ..telemetry.events import MemoryTraceSink, NULL_SINK, NullSink, TraceSink
 from .cache import CacheStats, DirectMappedCache
+from .engine import EventScheduler
 from .fifo import FifoBuffer, FifoStats
 from .mips_core import MipsResult, run_on_mips
-from .system import AcceleratorSystem, SimReport
+from .system import ENGINES, AcceleratorSystem, SimReport
 from .worker import HwWorker, WorkerStats
 
 __all__ = [
     "DirectMappedCache", "CacheStats",
     "FifoBuffer", "FifoStats",
-    "AcceleratorSystem", "SimReport",
+    "AcceleratorSystem", "SimReport", "ENGINES", "EventScheduler",
     "HwWorker", "WorkerStats",
     "run_on_mips", "MipsResult",
     "TraceSink", "NullSink", "NULL_SINK", "MemoryTraceSink",

@@ -36,6 +36,18 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def absorb(self, other: "CacheStats") -> None:
+        """Accumulate ``other`` into this stats object (slice aggregation).
+
+        Used to roll the per-worker private-cache slices of the Appendix
+        B.1 memory-partitioning mode up into one report-level summary.
+        """
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+        self.port_conflicts += other.port_conflicts
+        self.prefetches += other.prefetches
+
 
 class DirectMappedCache:
     """Timing model of the shared D-cache plus its crossbar."""
@@ -136,3 +148,15 @@ class DirectMappedCache:
     def reset_timing(self) -> None:
         self._port_usage.clear()
         self._memory_free_at = 0
+
+    def reset(self) -> None:
+        """Full start-of-run reset: cold tags, clean timing, zero stats.
+
+        ``AcceleratorSystem.run`` resets its caches so every invocation of
+        ``run()`` starts from the same power-on state and reports only its
+        own accesses (a reused system previously double-counted).
+        """
+        self._tags = [None] * self.n_lines
+        self._dirty = [False] * self.n_lines
+        self.reset_timing()
+        self.stats = CacheStats()

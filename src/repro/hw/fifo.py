@@ -15,10 +15,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
 from ..ir.primitives import Channel
 from ..telemetry.events import NULL_SINK, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import EventScheduler
 
 
 @dataclass
@@ -44,6 +48,9 @@ class FifoBuffer:
         self.queues: list[deque] = [deque() for _ in range(channel.n_channels)]
         self.stats = FifoStats(depth=channel.depth, n_queues=channel.n_channels)
         self.sink = sink
+        #: Event scheduler to notify on push/pop/reset so blocked workers
+        #: re-arm without polling (None under the lockstep engine).
+        self.engine: "EventScheduler | None" = None
 
     @property
     def name(self) -> str:
@@ -78,6 +85,8 @@ class FifoBuffer:
             self.sink.fifo_occupancy(
                 self.name, index, cycle, len(self.queues[index])
             )
+        if self.engine is not None:
+            self.engine.fifo_pushed(self, index)
 
     def push_broadcast(self, value, cycle: int = 0) -> None:
         if not self.can_push_broadcast():
@@ -88,6 +97,8 @@ class FifoBuffer:
             if self.sink.enabled:
                 self.sink.fifo_occupancy(self.name, index, cycle, len(queue))
         self.stats.pushes += len(self.queues)
+        if self.engine is not None:
+            self.engine.fifo_pushed(self, None)
 
     def pop(self, index: int, cycle: int = 0):
         if not self.can_pop(index):
@@ -98,6 +109,8 @@ class FifoBuffer:
             self.sink.fifo_occupancy(
                 self.name, index, cycle, len(self.queues[index])
             )
+        if self.engine is not None:
+            self.engine.fifo_popped(self, index)
         return value
 
     def occupancy(self, index: int) -> int:
@@ -110,6 +123,21 @@ class FifoBuffer:
             queue.clear()
             if had and self.sink.enabled:
                 self.sink.fifo_occupancy(self.name, index, cycle, 0)
+        if self.engine is not None:
+            self.engine.fifo_reset(self)
+
+    def reset_run(self) -> None:
+        """Start-of-run reset: flush queues and zero the stall counters.
+
+        ``AcceleratorSystem.run`` calls this so a reused system reports
+        only the current run's FIFO activity instead of accumulating
+        across invocations of ``run()``.
+        """
+        for queue in self.queues:
+            queue.clear()
+        self.stats = FifoStats(
+            depth=self.channel.depth, n_queues=self.channel.n_channels
+        )
 
     #: BRAM bits occupied by this buffer (32-bit slots x depth x queues).
     @property

@@ -22,9 +22,13 @@ from ..ir.primitives import Channel, ChannelPlan
 from ..rtl.schedule import FunctionSchedule, schedule_function
 from ..telemetry.events import NULL_SINK, TraceSink
 from .cache import CacheStats, DirectMappedCache
+from .engine import EventScheduler
 from .fifo import FifoBuffer
 from .worker import HwWorker, WorkerStats
 from ..pipeline.transform import TaskInfo
+
+#: Valid values for ``AcceleratorSystem(engine=...)``.
+ENGINES = ("event", "lockstep")
 
 
 @dataclass
@@ -70,12 +74,23 @@ class AcceleratorSystem:
         max_cycles: int = 500_000_000,
         private_caches: bool = False,
         sink: TraceSink | None = None,
+        engine: str = "event",
     ) -> None:
         """``private_caches`` models the memory-partitioning option of the
         paper's Appendix B.1: each worker gets its own single-ported cache
         slice instead of contending for the shared 8-port cache.  (Safe
         because CGPA's partition keeps aliasing memory instructions in one
-        stage; data always comes from the shared functional memory.)"""
+        stage; data always comes from the shared functional memory.)
+
+        ``engine`` selects the clock loop: ``"event"`` (default) jumps the
+        clock between worker wake events (:mod:`repro.hw.engine`),
+        ``"lockstep"`` ticks every worker every cycle.  Both produce
+        bit-identical :class:`SimReport`\\ s; lockstep is kept as the
+        differential-testing oracle."""
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
+        self.engine_kind = engine
+        self._scheduler: EventScheduler | None = None
         self.module = module
         self.memory = memory
         #: Telemetry receiver; the do-nothing default costs one boolean
@@ -110,7 +125,9 @@ class AcceleratorSystem:
 
     def fifo_for(self, channel: Channel) -> FifoBuffer:
         if id(channel) not in self._fifos:
-            self._fifos[id(channel)] = FifoBuffer(channel, sink=self.sink)
+            fifo = FifoBuffer(channel, sink=self.sink)
+            fifo.engine = self._scheduler
+            self._fifos[id(channel)] = fifo
         return self._fifos[id(channel)]
 
     def cache_for_new_worker(self) -> DirectMappedCache:
@@ -149,9 +166,14 @@ class AcceleratorSystem:
             worker_id=worker_id,
             start_cycle=cycle + 1,
         )
-        worker.return_value = None
-        self._workers.append(worker)
+        worker.loop_id = inst.loop_id
+        self._register_worker(worker)
         self._loop_groups.setdefault(inst.loop_id, []).append(worker)
+
+    def _register_worker(self, worker: HwWorker) -> None:
+        worker.seq = len(self._workers)
+        worker.engine = self._scheduler
+        self._workers.append(worker)
 
     def join_ready(self, loop_id: int) -> bool:
         return all(w.done for w in self._loop_groups.get(loop_id, []))
@@ -164,19 +186,77 @@ class AcceleratorSystem:
             fifo.reset(cycle)
 
     def worker_finished(self, worker: HwWorker) -> None:
-        pass  # finish signal is polled via join_ready
+        # Lockstep polls finish signals via join_ready; the event engine
+        # turns them into join wake events.
+        if self._scheduler is not None:
+            self._scheduler.worker_done(worker)
 
     # -- clock loop ----------------------------------------------------------------------
+
+    def _reset_run_state(self) -> None:
+        """Return the system to power-on state before a (re)run.
+
+        Without this a second ``run()`` on the same system double-counts:
+        cache stats, FIFO stats, liveout registers and the invocation
+        counter all carried over from the previous run.
+        """
+        self.cache.reset()
+        self._private_cache_pool.clear()
+        for fifo in self._fifos.values():
+            fifo.reset_run()
+        self.liveout_regs.clear()
+        self.invocations = 0
+        self._workers = []
+        self._loop_groups.clear()
 
     def run(self, entry: str | Function, args: list[int | float]) -> SimReport:
         if isinstance(entry, str):
             entry = self.module.get_function(entry)
+        self._reset_run_state()
+        if self.engine_kind == "event":
+            self._scheduler = EventScheduler(self)
+            for fifo in self._fifos.values():
+                fifo.engine = self._scheduler
         main = HwWorker(f"{entry.name}#top", entry, args, self)
-        main.return_value = None
-        self._workers.append(main)
+        self._register_worker(main)
         if self.sink.enabled:
             self.sink.begin_run([main.name])
 
+        try:
+            if self._scheduler is not None:
+                cycles = self._scheduler.run(main)
+            else:
+                cycles = self._run_lockstep(main)
+        finally:
+            self._scheduler = None
+            for fifo in self._fifos.values():
+                fifo.engine = None
+
+        self._workers.remove(main)
+        if self.sink.enabled:
+            self.sink.end_run(cycles)
+        worker_stats = {main.name: main.stats}
+        for worker in self._workers:
+            worker_stats[worker.name] = worker.stats
+        fifo_stats = {f.name: f.stats for f in self._fifos.values()}
+        report = SimReport(
+            cycles=cycles,
+            return_value=main.return_value,
+            worker_stats=worker_stats,
+            cache_stats=self._aggregate_cache_stats(),
+            fifo_stats=fifo_stats,
+            invocations=self.invocations,
+        )
+        self._workers = []
+        return report
+
+    def _run_lockstep(self, main: HwWorker) -> int:
+        """Reference engine: tick every worker on every cycle.
+
+        Kept as the differential-testing oracle for the event-driven
+        engine (``tests/test_engine_equivalence.py``); select it with
+        ``AcceleratorSystem(..., engine="lockstep")``.
+        """
         cycle = 0
         last_progress = -1
         while not main.done:
@@ -193,24 +273,22 @@ class AcceleratorSystem:
                         f"progressed in 16k cycles"
                     )
                 last_progress = progress
+        return cycle
 
-        self._workers.remove(main)
-        if self.sink.enabled:
-            self.sink.end_run(cycle)
-        worker_stats = {main.name: main.stats}
-        for worker in self._workers:
-            worker_stats[worker.name] = worker.stats
-        fifo_stats = {f.name: f.stats for f in self._fifos.values()}
-        report = SimReport(
-            cycles=cycle,
-            return_value=main.return_value,
-            worker_stats=worker_stats,
-            cache_stats=self.cache.stats,
-            fifo_stats=fifo_stats,
-            invocations=self.invocations,
-        )
-        self._workers = []
-        return report
+    def _aggregate_cache_stats(self) -> CacheStats:
+        """Report-level cache summary covering every cache the run used.
+
+        With ``private_caches`` the shared cache sits idle and all traffic
+        goes through the per-worker slices; reading only ``cache.stats``
+        silently dropped every one of those accesses.
+        """
+        if not self._private_cache_pool:
+            return self.cache.stats
+        total = CacheStats()
+        total.absorb(self.cache.stats)
+        for slice_ in self._private_cache_pool:
+            total.absorb(slice_.stats)
+        return total
 
     @property
     def fifos(self) -> dict[int, FifoBuffer]:

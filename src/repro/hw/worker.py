@@ -50,7 +50,13 @@ from ..ir.values import Argument, Constant, GlobalVariable, Value
 from ..rtl.schedule import FunctionSchedule
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .engine import EventScheduler
     from .system import AcceleratorSystem
+
+#: Sentinel "next due cycle" for workers blocked on an event (FIFO space,
+#: FIFO data, join) with no statically-known wake time, and for finished
+#: workers.  Large enough to exceed any max_cycles while staying an int.
+NEVER = 1 << 62
 
 
 @dataclass
@@ -155,8 +161,27 @@ class HwWorker:
         if self._trace and start_cycle > 0:
             self._sink.worker_span(name, CycleCategory.IDLE, 0, start_cycle)
         self.done = False
+        self.return_value: int | float | None = None
+        #: Loop group this worker was forked into (None for the top worker).
+        self.loop_id: int | None = None
+        #: Position in the system's worker list; the clock loop ticks
+        #: workers in ``seq`` order, which the event engine's same-cycle
+        #: wake rule must respect to stay bit-identical with lockstep.
+        self.seq = 0
+        #: Event scheduler driving this run (None under the lockstep engine).
+        self.engine: "EventScheduler | None" = None
+        #: Earliest cycle at which this worker can next make progress.
+        self.next_due = start_cycle
+        #: Cycle up to which stats/trace attribution has been written.
+        self.synced_until = start_cycle
+        #: Category every not-yet-attributed cycle since ``synced_until``
+        #: belongs to (the worker's current wait reason).
+        self.wait_category = CycleCategory.IDLE
         self._waiting_until = 0
         self._pending_mem: tuple[Instruction, int] | None = None
+        self._blocked_fifo = None
+        self._blocked_index: int | None = None
+        self._blocked_loop = -1
         #: The cache this worker's memory port talks to (shared, or a
         #: private slice under the Appendix B.1 memory-partitioning mode).
         self.cache = system.cache_for_new_worker()
@@ -207,6 +232,41 @@ class HwWorker:
             stats.idle_cycles += 1
         if self._trace:
             self._sink.worker_cycle(self.name, cycle, category)
+        if self.engine is not None:
+            self._arm(cycle, category)
+
+    def _arm(self, cycle: int, category: CycleCategory) -> None:
+        """Tell the event scheduler when this worker next needs a tick.
+
+        Ticks with a statically-known resume cycle (compute, cache waits,
+        reset holds) set ``next_due`` directly; event waits (FIFO space,
+        FIFO data, join) park the worker at ``NEVER`` and register a wake
+        condition, so the clock can jump straight past the whole stall.
+        """
+        self.synced_until = cycle + 1
+        if self.done:
+            self.next_due = NEVER
+            self.wait_category = CycleCategory.IDLE
+        elif category is CycleCategory.COMPUTE:
+            self.next_due = cycle + 1
+        elif category is CycleCategory.CACHE:
+            self.next_due = max(self._waiting_until, cycle + 1)
+            self.wait_category = CycleCategory.CACHE
+        elif category is CycleCategory.FIFO_FULL:
+            self.next_due = NEVER
+            self.wait_category = category
+            self.engine.wait_on_fifo(self, self._blocked_fifo)
+        elif category is CycleCategory.FIFO_EMPTY:
+            self.next_due = NEVER
+            self.wait_category = category
+            self.engine.wait_on_fifo(self, self._blocked_fifo)
+        elif category is CycleCategory.JOIN:
+            self.next_due = NEVER
+            self.wait_category = category
+            self.engine.wait_on_join(self, self._blocked_loop)
+        else:  # IDLE: held in reset until start_cycle
+            self.next_due = max(self.start_cycle, cycle + 1)
+            self.wait_category = CycleCategory.IDLE
 
     def _tick(self, cycle: int) -> CycleCategory:
         if self.done:
@@ -329,6 +389,8 @@ class HwWorker:
             if not fifo.can_push(index):
                 fifo.stats.full_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
+                self._blocked_fifo = fifo
+                self._blocked_index = index
                 return "wait_full"
             fifo.push(index, self._value(frame, inst.value), cycle)
             self.stats.fifo_pushes += 1
@@ -338,6 +400,8 @@ class HwWorker:
             if not fifo.can_push_broadcast():
                 fifo.stats.full_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
+                self._blocked_fifo = fifo
+                self._blocked_index = None  # needs space in every queue
                 return "wait_full"
             fifo.push_broadcast(self._value(frame, inst.value), cycle)
             self.stats.fifo_pushes += inst.channel.n_channels
@@ -351,6 +415,8 @@ class HwWorker:
             if not fifo.can_pop(index):
                 fifo.stats.empty_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
+                self._blocked_fifo = fifo
+                self._blocked_index = index
                 return "wait_empty"
             frame.env[id(inst)] = fifo.pop(index, cycle)
             self.stats.fifo_pops += 1
@@ -370,6 +436,7 @@ class HwWorker:
         if isinstance(inst, ParallelJoin):
             if not self.system.join_ready(inst.loop_id):
                 self.stats.ops_executed[inst.opcode] -= 1
+                self._blocked_loop = inst.loop_id
                 return "wait_join"
             self.system.finish_join(inst.loop_id, cycle)
             return "ok"

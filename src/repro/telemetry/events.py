@@ -13,7 +13,11 @@ category** (the invariant the cycle-conservation tests pin down):
 * ``IDLE``       — held in reset (before ``parallel_fork``) or finished.
 
 Sinks receive these attributions plus FSM-state changes, FIFO occupancy
-samples and cache transactions.  The default :data:`NULL_SINK` is a
+samples and cache transactions.  Attributions arrive through two
+equivalent channels that sinks must treat interchangeably: per-cycle
+``worker_cycle`` calls (ticked cycles) and batched ``worker_span`` calls
+(the event-driven engine's skip-ahead stall spans and pre-start reset
+holds).  Both cover every cycle exactly once.  The default :data:`NULL_SINK` is a
 do-nothing singleton; instrumented code guards every emission with the
 sink's ``enabled`` flag (a plain attribute read), so an untraced
 simulation pays one boolean check per event site and nothing else.
@@ -290,10 +294,20 @@ class MemoryTraceSink:
     # -- accessors --------------------------------------------------------------
 
     def flush(self) -> None:
-        """Close all open spans (idempotent; called by ``end_run``)."""
+        """Close all open spans and canonicalise their order.
+
+        Idempotent; called by ``end_run``.  Spans are sorted by
+        ``(start, worker)`` — per-worker spans are disjoint, so this is a
+        total chronological order.  The lockstep engine closes spans in
+        cycle order while the event engine closes a blocked worker's span
+        only at its wake event, so without the sort the two engines would
+        produce identically-shaped traces in different list orders; with
+        it, exporter output is bit-identical across engines.
+        """
         for worker, open_ in self._open.items():
             self.spans.append(Span(worker, open_.category, open_.start, open_.end))
         self._open.clear()
+        self.spans.sort(key=lambda span: (span.start, span.worker))
 
     def spans_for(self, worker: str) -> list[Span]:
         return [s for s in self.spans if s.worker == worker]

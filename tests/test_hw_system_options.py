@@ -60,3 +60,70 @@ class TestPrivateCaches:
             s.stats.accesses for s in system._private_cache_pool
         )
         assert total_private > 0
+
+    def test_report_aggregates_private_slices(self):
+        system, sim = simulate(True)
+        # The report must carry the traffic of the private slices, not the
+        # idle shared cache (which used to be reported verbatim).
+        total_private = sum(
+            s.stats.accesses for s in system._private_cache_pool
+        )
+        assert sim.cache_stats.accesses == total_private
+        assert sim.cache_stats.hits == sum(
+            s.stats.hits for s in system._private_cache_pool
+        )
+
+
+class TestRunReuse:
+    """Calling run() twice on one system must behave like two cold runs."""
+
+    def assert_same_report(self, first, second):
+        assert second.cycles == first.cycles
+        assert second.return_value == first.return_value
+        assert second.invocations == first.invocations
+        assert second.worker_stats == first.worker_stats
+        assert second.cache_stats == first.cache_stats
+        assert second.fifo_stats == first.fifo_stats
+
+    def test_second_run_identical(self):
+        for engine in ("event", "lockstep"):
+            module = compile_c(SMALL_KS.source, "ks")
+            optimize_module(module)
+            compiled = cgpa_compile(
+                module, "kernel", shapes=SMALL_KS.shapes_for(module),
+                policy=ReplicationPolicy.P1, n_workers=4,
+            )
+            memory, globals_, args = _setup_workload(compiled.module, SMALL_KS)
+            system = AcceleratorSystem(
+                compiled.module, memory,
+                channels=compiled.result.channels,
+                cache=DirectMappedCache(ports=8),
+                global_addresses=globals_,
+                engine=engine,
+            )
+            first = system.run("kernel", args)
+            # Before the per-run reset, stale cache tags/stats, FIFO stall
+            # counters and liveout registers leaked into the second run.
+            second = system.run("kernel", args)
+            self.assert_same_report(first, second)
+
+    def test_second_run_identical_private_caches(self):
+        module = compile_c(SMALL_KS.source, "ks")
+        optimize_module(module)
+        compiled = cgpa_compile(
+            module, "kernel", shapes=SMALL_KS.shapes_for(module),
+            policy=ReplicationPolicy.P1, n_workers=4,
+        )
+        memory, globals_, args = _setup_workload(compiled.module, SMALL_KS)
+        system = AcceleratorSystem(
+            compiled.module, memory,
+            channels=compiled.result.channels,
+            cache=DirectMappedCache(ports=8),
+            global_addresses=globals_,
+            private_caches=True,
+        )
+        first = system.run("kernel", args)
+        second = system.run("kernel", args)
+        self.assert_same_report(first, second)
+        # The pool holds only the second run's slices, not both runs'.
+        assert len(system._private_cache_pool) == 7
