@@ -3,7 +3,14 @@
 from .area import AreaReport, accelerator_area, function_aluts, single_module_area
 from .power import DEFAULT_FREQUENCY_HZ, PowerReport, power_report
 
+#: Bump whenever the area/power constants or aggregation rules change in a
+#: way that alters reported numbers.  Part of every design-space-exploration
+#: cache key (:mod:`repro.dse.cache`), so stale sweep results are never
+#: reused across cost-model revisions.
+COST_MODEL_VERSION = 1
+
 __all__ = [
     "AreaReport", "accelerator_area", "single_module_area", "function_aluts",
     "PowerReport", "power_report", "DEFAULT_FREQUENCY_HZ",
+    "COST_MODEL_VERSION",
 ]

@@ -1,0 +1,87 @@
+"""Content-addressed on-disk cache for design-point evaluations.
+
+The cache key hashes everything that determines an
+:class:`~repro.dse.evaluate.EvalResult`: the kernel's C source and
+entry-point contract, the full design point, the evaluator's cycle budget
+and engine, and :data:`repro.cost.COST_MODEL_VERSION`.  Change any of
+those and the key changes — stale entries are never *invalidated*, they
+are simply never addressed again.  Entries are one small JSON file each,
+sharded two-level by key prefix, so a cache directory can be inspected
+(and deleted) with ordinary shell tools.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+from ..cost import COST_MODEL_VERSION
+from ..kernels import KernelSpec
+from .space import DesignPoint
+
+#: Bump when the EvalResult schema or evaluation semantics change.
+CACHE_SCHEMA_VERSION = 1
+
+
+def result_key(
+    spec: KernelSpec,
+    point: DesignPoint,
+    max_cycles: int,
+    engine: str,
+) -> str:
+    """Hex digest addressing one (kernel, config, model-version) result."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "cost_model": COST_MODEL_VERSION,
+            "kernel": spec.name,
+            "source": spec.source,
+            "accel_function": spec.accel_function,
+            "measure_entry": spec.measure_entry,
+            "setup_function": spec.setup_function,
+            "setup_args": list(spec.setup_args),
+            "check_function": spec.check_function,
+            "point": point.to_dict(),
+            "max_cycles": max_cycles,
+            "engine": engine,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key[:2]>/<key>.json`` evaluation results."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored result dict, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            # A torn write (e.g. interrupted sweep) is just a miss; the
+            # re-evaluation below will overwrite it atomically.
+            return None
+
+    def put(self, key: str, result: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent pool workers and interrupted
+        # sweeps can never leave a half-written entry behind.
+        tmp = path.with_name(f".{path.name}.tmp")
+        tmp.write_text(json.dumps(result, sort_keys=True))
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,183 @@
+"""The explorer: fan design points out over a process pool, cache results.
+
+Determinism contract: for a given (kernel, space, strategy, seed) the
+sweep result — including the report JSON — is byte-identical whether it
+runs serially, on a 4-process pool, or from a warm cache.  Three rules
+make that hold:
+
+* results are reassembled in *proposal* order, never completion order;
+* nothing time- or pid-dependent is stored on an :class:`EvalResult`
+  (wall-clock lives on the :class:`SweepResult` and stays out of its
+  deterministic JSON form);
+* strategies only see evaluated results, which are themselves
+  deterministic, so every round proposes the same batch.
+
+Work is sharded by :attr:`DesignPoint.compile_key`: each pool task is
+*all* points of one compile key, so each configuration is compiled once
+per sweep and its :class:`CompiledPipeline` is reused across the
+simulator-knob variants (cache organisation) that share it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from ..kernels import KernelSpec
+from .cache import ResultCache, result_key
+from .evaluate import DEFAULT_EVAL_MAX_CYCLES, EvalResult, Evaluator
+from .pareto import OBJECTIVES, pareto_frontier
+from .space import ConfigSpace, DesignPoint
+from .strategies import Strategy
+
+
+@dataclass
+class SweepResult:
+    """All evaluations of one sweep, in deterministic proposal order."""
+
+    kernel: str
+    strategy: str
+    results: list[EvalResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
+    def frontier(self, objectives=OBJECTIVES) -> list[EvalResult]:
+        return pareto_frontier(self.results, objectives)
+
+    def to_json_dict(self) -> dict:
+        """Deterministic report form (no wall-clock, no cache provenance)."""
+        frontier_labels = [r.point.label for r in self.frontier()]
+        return {
+            "kernel": self.kernel,
+            "strategy": self.strategy,
+            "objectives": list(OBJECTIVES),
+            "n_points": len(self.results),
+            "status_counts": self.status_counts(),
+            "frontier": frontier_labels,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def _evaluate_group(task) -> list[tuple[int, dict]]:
+    """Pool worker: evaluate one compile-key group with a fresh evaluator.
+
+    Takes and returns plain picklable data; ``EvalResult`` travels as its
+    dict form so the parent rebuilds identical objects on any start
+    method (fork or spawn).
+    """
+    spec, max_cycles, engine, group = task
+    evaluator = Evaluator(spec, max_cycles=max_cycles, engine=engine)
+    return [(index, evaluator.evaluate(point).to_dict()) for index, point in group]
+
+
+class Explorer:
+    """Run strategies over a config space for one kernel."""
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        space: ConfigSpace | None = None,
+        cache: ResultCache | None = None,
+        processes: int = 1,
+        max_cycles: int = DEFAULT_EVAL_MAX_CYCLES,
+        engine: str = "event",
+    ) -> None:
+        self.spec = spec
+        self.space = space if space is not None else ConfigSpace()
+        self.cache = cache
+        self.processes = max(1, processes)
+        self.max_cycles = max_cycles
+        self.engine = engine
+
+    def run(self, strategy: Strategy) -> SweepResult:
+        """Drive ``strategy`` to exhaustion and collect every result."""
+        start = time.perf_counter()
+        sweep = SweepResult(kernel=self.spec.name, strategy=strategy.name)
+        evaluated: dict[DesignPoint, EvalResult] = {}
+        while True:
+            batch, seen = [], set(evaluated)
+            for point in strategy.propose(self.space, evaluated):
+                if point not in seen:
+                    batch.append(point)
+                    seen.add(point)
+            if not batch:
+                break
+            for point, result in zip(batch, self._evaluate_batch(batch, sweep)):
+                evaluated[point] = result
+                sweep.results.append(result)
+        sweep.elapsed_s = time.perf_counter() - start
+        return sweep
+
+    # -- batch evaluation --------------------------------------------------
+
+    def _evaluate_batch(
+        self, batch: list[DesignPoint], sweep: SweepResult
+    ) -> list[EvalResult]:
+        slots: list[EvalResult | None] = [None] * len(batch)
+        misses: list[tuple[int, DesignPoint]] = []
+        keys: dict[int, str] = {}
+        for index, point in enumerate(batch):
+            if self.cache is not None:
+                key = result_key(
+                    self.spec, point, self.max_cycles, self.engine
+                )
+                keys[index] = key
+                stored = self.cache.get(key)
+                if stored is not None:
+                    result = EvalResult.from_dict(stored)
+                    result.from_cache = True
+                    slots[index] = result
+                    sweep.cache_hits += 1
+                    continue
+            misses.append((index, point))
+        sweep.cache_misses += len(misses)
+
+        for index, result in self._evaluate_misses(misses):
+            slots[index] = result
+            if self.cache is not None:
+                self.cache.put(keys[index], result.to_dict())
+        assert all(r is not None for r in slots)
+        return slots  # type: ignore[return-value]
+
+    def _evaluate_misses(
+        self, misses: list[tuple[int, DesignPoint]]
+    ) -> list[tuple[int, EvalResult]]:
+        if not misses:
+            return []
+        # Shard by compile key: one task = one compilation, many sim knobs.
+        groups: dict[tuple, list[tuple[int, DesignPoint]]] = {}
+        for index, point in misses:
+            groups.setdefault(point.compile_key, []).append((index, point))
+        tasks = [
+            (self.spec, self.max_cycles, self.engine, group)
+            for group in groups.values()
+        ]
+        if self.processes == 1 or len(tasks) == 1:
+            # Serial: one evaluator memoizes compilations across groups.
+            evaluator = Evaluator(
+                self.spec, max_cycles=self.max_cycles, engine=self.engine
+            )
+            return [
+                (index, evaluator.evaluate(point)) for index, point in misses
+            ]
+        with multiprocessing.Pool(min(self.processes, len(tasks))) as pool:
+            shards = pool.map(_evaluate_group, tasks)
+        out: list[tuple[int, EvalResult]] = []
+        for shard in shards:
+            out.extend(
+                (index, EvalResult.from_dict(data)) for index, data in shard
+            )
+        return out

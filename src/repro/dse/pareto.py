@@ -1,0 +1,45 @@
+"""Pareto-frontier extraction over (cycles, total_aluts, energy_uj).
+
+All objectives are minimised.  Failed points (deadlock / timeout / error)
+carry no objective vector and are excluded before domination testing, so
+a sweep full of pathological configurations yields an empty frontier
+rather than a crash.
+"""
+
+from __future__ import annotations
+
+from .evaluate import EvalResult
+
+#: Default minimisation objectives (EvalResult attribute names).
+OBJECTIVES = ("cycles", "total_aluts", "energy_uj")
+
+
+def objective_vector(result: EvalResult, objectives=OBJECTIVES) -> tuple:
+    return tuple(getattr(result, name) for name in objectives)
+
+
+def dominates(a: EvalResult, b: EvalResult, objectives=OBJECTIVES) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    va, vb = objective_vector(a, objectives), objective_vector(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) and any(
+        x < y for x, y in zip(va, vb)
+    )
+
+
+def pareto_frontier(
+    results: list[EvalResult], objectives=OBJECTIVES
+) -> list[EvalResult]:
+    """Non-dominated ``status == "ok"`` results, sorted by objectives.
+
+    Ties (identical objective vectors from different configurations) are
+    all kept — neither strictly dominates the other — and ordered by
+    point label so the frontier is deterministic.
+    """
+    ok = [r for r in results if r.ok]
+    frontier = [
+        r
+        for r in ok
+        if not any(dominates(other, r, objectives) for other in ok)
+    ]
+    frontier.sort(key=lambda r: (objective_vector(r, objectives), r.point.label))
+    return frontier

@@ -23,6 +23,7 @@ from .experiments import (
 from .report import (
     format_bottlenecks,
     format_figure4,
+    format_pareto,
     format_scalability,
     format_stall_breakdown,
     format_table2,
@@ -49,4 +50,5 @@ __all__ = [
     "alut_overhead_geomean", "energy_overhead_geomean",
     "format_figure4", "format_table2", "format_table3", "format_tradeoff",
     "format_scalability", "format_stall_breakdown", "format_bottlenecks",
+    "format_pareto",
 ]

@@ -7,11 +7,14 @@ Usage::
     python -m repro.harness --scalability  # the Appendix B.1 worker sweep
     python -m repro.harness trace ks       # traced run: Chrome trace + VCD
                                            # + bottleneck analysis on disk
+    python -m repro.harness dse ks         # design-space sweep + Pareto
+                                           # frontier + JSON on disk
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -35,6 +38,181 @@ from .report import (
 from .runner import run_backend, run_kernel
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for knobs that must be >= 1 (workers, FIFO depth...).
+
+    Turns a bad value into a one-line ``argparse`` usage error instead of
+    a deep traceback out of the partitioner or simulator.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _csv_positive_ints(text: str) -> list[int]:
+    """argparse type: comma-separated list of >= 1 integers."""
+    return [_positive_int(item) for item in text.split(",") if item]
+
+
+def dse_main(argv: list[str]) -> int:
+    """``python -m repro.harness dse <kernel>`` — design-space sweep."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness dse",
+        description="Explore the accelerator knob space for one kernel, "
+        "print the Pareto frontier over (cycles, total_aluts, energy_uj) "
+        "and write the full sweep as JSON.  Results are cached on disk, "
+        "so repeated sweeps only simulate new points.",
+    )
+    parser.add_argument(
+        "kernel", choices=sorted(KERNELS_BY_NAME),
+        help="kernel whose design space to explore",
+    )
+    parser.add_argument(
+        "--strategy", default="grid",
+        choices=["grid", "random", "hillclimb"],
+        help="exhaustive grid, seeded random sample, or greedy hill-climb "
+        "(default: grid)",
+    )
+    parser.add_argument(
+        "--policies", default=None,
+        help="comma-separated replication policies to sweep "
+        "(default: p1,none plus p2 where Table 2 lists one)",
+    )
+    parser.add_argument(
+        "--workers-list", type=_csv_positive_ints, default=[1, 2, 4],
+        metavar="N,N,...",
+        help="parallel-stage worker counts to sweep (default: 1,2,4)",
+    )
+    parser.add_argument(
+        "--fifo-depths", type=_csv_positive_ints, default=[4, 16],
+        metavar="N,N,...",
+        help="FIFO depths to sweep (default: 4,16)",
+    )
+    parser.add_argument(
+        "--cache-lines", type=_csv_positive_ints, default=[512],
+        metavar="N,N,...",
+        help="cache line counts to sweep; powers of two (default: 512)",
+    )
+    parser.add_argument(
+        "--cache-ports", type=_csv_positive_ints, default=[8],
+        metavar="N,N,...",
+        help="cache port counts to sweep (default: 8)",
+    )
+    parser.add_argument(
+        "--caches", default="shared", choices=["shared", "private", "both"],
+        help="cache organisations to sweep (default: shared)",
+    )
+    parser.add_argument(
+        "--samples", type=_positive_int, default=8,
+        help="points to draw with --strategy random (default: 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="random-sample seed (default: 0)",
+    )
+    parser.add_argument(
+        "--max-evals", type=_positive_int, default=24,
+        help="evaluation budget for --strategy hillclimb (default: 24)",
+    )
+    parser.add_argument(
+        "--objective", default="cycles",
+        choices=["cycles", "total_aluts", "energy_uj"],
+        help="hill-climb objective to minimise (default: cycles)",
+    )
+    parser.add_argument(
+        "--processes", type=_positive_int, default=1,
+        help="pool size for parallel evaluation (default: 1); the frontier "
+        "is byte-identical at any pool size",
+    )
+    parser.add_argument(
+        "--max-cycles", type=_positive_int, default=None,
+        help="per-point simulated-cycle budget; points exceeding it are "
+        "recorded as status=timeout (default: 50M)",
+    )
+    parser.add_argument(
+        "--engine", default="event", choices=["event", "lockstep"],
+        help="simulator clock loop (default: event)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, default=pathlib.Path(".dse-cache"),
+        help="on-disk result cache location (default: ./.dse-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="evaluate every point fresh, and do not store results",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path("benchmarks/results"),
+        help="directory for the sweep JSON (default: benchmarks/results)",
+    )
+    args = parser.parse_args(argv)
+
+    from ..dse import (
+        DEFAULT_EVAL_MAX_CYCLES,
+        ConfigSpace,
+        Explorer,
+        GridStrategy,
+        HillClimbStrategy,
+        RandomStrategy,
+        ResultCache,
+    )
+    from ..errors import CgpaError
+    from .report import format_pareto
+
+    spec = KERNELS_BY_NAME[args.kernel]
+    if args.policies is not None:
+        policies = [p for p in args.policies.split(",") if p]
+    else:
+        policies = ["p1", "none"] + (["p2"] if spec.supports_p2 else [])
+    private = {"shared": [False], "private": [True], "both": [False, True]}
+    try:
+        space = ConfigSpace(
+            policies=policies,
+            n_workers=args.workers_list,
+            fifo_depths=args.fifo_depths,
+            private_caches=private[args.caches],
+            cache_lines=args.cache_lines,
+            cache_ports=args.cache_ports,
+        )
+    except CgpaError as exc:
+        parser.error(str(exc))
+
+    strategy = {
+        "grid": lambda: GridStrategy(),
+        "random": lambda: RandomStrategy(args.samples, seed=args.seed),
+        "hillclimb": lambda: HillClimbStrategy(
+            objective=args.objective, max_evals=args.max_evals
+        ),
+    }[args.strategy]()
+    explorer = Explorer(
+        spec,
+        space,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        processes=args.processes,
+        max_cycles=args.max_cycles or DEFAULT_EVAL_MAX_CYCLES,
+        engine=args.engine,
+    )
+    print(f"Exploring {space.size}-point space for {spec.name} "
+          f"({args.strategy} strategy, {args.processes} process(es))...")
+    sweep = explorer.run(strategy)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    out_path = args.out / f"dse_{spec.name}_{args.strategy}.json"
+    out_path.write_text(
+        json.dumps(sweep.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(format_pareto(sweep))
+    print()
+    print(f"sweep took {sweep.elapsed_s:.1f}s; full results: {out_path}")
+    return 0
+
+
 def trace_main(argv: list[str]) -> int:
     """``python -m repro.harness trace <kernel>`` — traced simulation."""
     parser = argparse.ArgumentParser(
@@ -53,11 +231,11 @@ def trace_main(argv: list[str]) -> int:
         help="hardware backend to trace (default: cgpa-p1)",
     )
     parser.add_argument(
-        "--workers", type=int, default=4,
+        "--workers", type=_positive_int, default=4,
         help="parallel-stage worker count (paper default: 4)",
     )
     parser.add_argument(
-        "--fifo-depth", type=int, default=16,
+        "--fifo-depth", type=_positive_int, default=16,
         help="FIFO entries per channel (paper default: 16)",
     )
     parser.add_argument(
@@ -113,6 +291,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "dse":
+        return dse_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -127,7 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         help="run the Appendix B.1 worker sweep (em3d)",
     )
     parser.add_argument(
-        "--workers", type=int, default=4,
+        "--workers", type=_positive_int, default=4,
         help="parallel-stage worker count (paper default: 4)",
     )
     parser.add_argument(

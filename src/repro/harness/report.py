@@ -16,6 +16,7 @@ from .experiments import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..dse.explore import SweepResult
     from ..hw.system import SimReport
     from ..telemetry.bottleneck import BottleneckReport
 
@@ -192,4 +193,54 @@ def format_bottlenecks(analysis: "BottleneckReport") -> str:
     if analysis.recommendations:
         lines.append("Recommendations:")
         lines.extend(f"  - {r}" for r in analysis.recommendations)
+    return "\n".join(lines)
+
+
+def format_pareto(sweep: "SweepResult") -> str:
+    """Render a design-space sweep: header, Pareto table, dominated tally.
+
+    ``sweep`` is a :class:`repro.dse.explore.SweepResult` (typed loosely
+    to keep this module import-light; :mod:`repro.dse` imports the
+    harness runner, not the other way around).
+    """
+    frontier = sweep.frontier()
+    statuses = sweep.status_counts()
+    total = sweep.cache_hits + sweep.cache_misses
+    lines = [
+        f"Design-space exploration: {sweep.kernel} "
+        f"({sweep.strategy} strategy, {len(sweep.results)} points)",
+        "  status: " + ", ".join(f"{k}={v}" for k, v in statuses.items()),
+    ]
+    if total:
+        lines.append(
+            f"  result cache: {sweep.cache_hits}/{total} hits "
+            f"({100 * sweep.hit_rate:.0f}%)"
+        )
+    lines.append("")
+    lines.append("Pareto frontier over (cycles, total_aluts, energy_uj):")
+    body = [
+        [
+            r.point.label,
+            r.signature or "?",
+            str(r.cycles),
+            str(r.total_aluts),
+            f"{r.energy_uj:.3f}",
+            f"{r.power_mw:.1f}",
+            f"{100 * r.cache_hit_rate:.1f}%" if r.cache_hit_rate is not None
+            else "-",
+        ]
+        for r in frontier
+    ]
+    table = _table(
+        ["Config", "Pipeline", "Cycles", "ALUTs", "Energy (uJ)",
+         "Power (mW)", "D$ hit"],
+        body,
+    )
+    lines.append(table if frontier else "  (empty: no successful points)")
+    dominated = statuses.get("ok", 0) - len(frontier)
+    lines.append("")
+    lines.append(
+        f"{len(frontier)} frontier / {dominated} dominated / "
+        f"{len(sweep.results) - statuses.get('ok', 0)} failed points"
+    )
     return "\n".join(lines)

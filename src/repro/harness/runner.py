@@ -228,7 +228,7 @@ def run_backend(
             engine=engine,
         )
         sim = system.run(spec.measure_entry, args)
-        area = _cgpa_area(compiled)
+        area = cgpa_area(compiled)
         functions = list(compiled.module.functions.values())
         power = power_report(sim, area, functions)
         checksum = _checksum(compiled.module, memory, globals_, spec)
@@ -246,7 +246,12 @@ def run_backend(
     raise CgpaError(f"unknown backend {backend!r}")
 
 
-def _cgpa_area(compiled: CompiledPipeline) -> AreaReport:
+def cgpa_area(compiled: CompiledPipeline) -> AreaReport:
+    """Area of one compiled CGPA pipeline (workers + wrapper + FIFOs).
+
+    Public because the design-space explorer (:mod:`repro.dse`) scores
+    compiled pipelines outside the backend runner.
+    """
     area = accelerator_area(
         compiled.result.tasks,
         [stage.n_workers for stage in compiled.spec.stages],

@@ -42,6 +42,11 @@ class CompiledPipeline:
     def signature(self) -> str:
         return self.spec.signature
 
+    @property
+    def full_signature(self) -> str:
+        """Unambiguous label (shape/policy/workers/depth) for sweep reports."""
+        return self.spec.full_signature
+
 
 def cgpa_compile(
     source: str | Module,

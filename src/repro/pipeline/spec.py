@@ -83,11 +83,34 @@ class PipelineSpec:
     #: every parallel worker's both loop bodies).
     replicated: list[SccInfo] = field(default_factory=list)
     policy: ReplicationPolicy = ReplicationPolicy.P1
+    #: FIFO entries per channel as realized by the transformer; ``None``
+    #: until :func:`repro.pipeline.transform.transform_loop` has run.
+    fifo_depth: int | None = None
 
     @property
     def signature(self) -> str:
-        """Stage shape string as in Table 2: "S-P-S", "S-P", "P-S", "P"."""
+        """Stage shape string as in Table 2: "S-P-S", "S-P", "P-S", "P".
+
+        .. deprecated:: retained for the Table-2 comparisons; it is
+           *ambiguous* as a configuration label ("S-P" says nothing about
+           the replication policy, worker count or FIFO depth that
+           produced it).  Cache keys and sweep labels must use
+           :attr:`full_signature` instead.
+        """
         return "-".join(stage.letter for stage in self.stages)
+
+    @property
+    def full_signature(self) -> str:
+        """Unambiguous configuration label: shape + policy + workers + depth.
+
+        E.g. ``"S-P-S/p1/w4/d16"``.  Unlike :attr:`signature`, two
+        different configurations can never collide, which is what the
+        design-space explorer's cache keys and report labels require.
+        """
+        parallel = self.parallel_stage
+        workers = parallel.n_workers if parallel is not None else 1
+        depth = "?" if self.fifo_depth is None else str(self.fifo_depth)
+        return f"{self.signature}/{self.policy.value}/w{workers}/d{depth}"
 
     @property
     def parallel_stage(self) -> StageSpec | None:

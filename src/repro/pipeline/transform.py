@@ -131,6 +131,7 @@ def transform_loop(
     rewrite_parent: bool = True,
 ) -> TransformResult:
     """Generate task functions (and optionally rewrite the parent)."""
+    spec.fifo_depth = fifo_depth
     return _Transformer(module, spec, loop_id, fifo_depth).run(rewrite_parent)
 
 

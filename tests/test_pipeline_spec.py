@@ -58,6 +58,24 @@ class TestPipelineSpec:
         assert em3d_spec.parallel_stage is not None
         assert em3d_spec.parallel_stage.kind is StageKind.PARALLEL
 
+    def test_full_signature_is_unambiguous(self, em3d_spec):
+        # The transform recorded the realized FIFO depth on the spec, so
+        # the full signature pins shape + policy + workers + depth.
+        assert em3d_spec.fifo_depth == DEFAULT_FIFO_DEPTH
+        assert em3d_spec.full_signature == "S-P/p1/w4/d16"
+
+    def test_full_signature_tracks_knobs(self):
+        module = compile_c(EM3D.source, "em3d")
+        optimize_module(module)
+        compiled = cgpa_compile(
+            module, "kernel", shapes=EM3D.shapes_for(module),
+            policy=ReplicationPolicy.P2, n_workers=2, fifo_depth=8,
+            rewrite_parent=False,
+        )
+        assert compiled.full_signature.endswith("/p2/w2/d8")
+        # The bare Table-2 shape string stays untouched (deprecated alias).
+        assert "/" not in compiled.signature
+
     def test_total_workers(self, em3d_spec):
         assert em3d_spec.total_workers == 1 + 4
 
