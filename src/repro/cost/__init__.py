@@ -4,10 +4,13 @@ from .area import AreaReport, accelerator_area, function_aluts, single_module_ar
 from .power import DEFAULT_FREQUENCY_HZ, PowerReport, power_report
 
 #: Bump whenever the area/power constants or aggregation rules change in a
-#: way that alters reported numbers.  Part of every design-space-exploration
-#: cache key (:mod:`repro.dse.cache`), so stale sweep results are never
-#: reused across cost-model revisions.
-COST_MODEL_VERSION = 1
+#: way that alters reported numbers, or the serialised ``EvalResult``
+#: schema grows a field.  Part of every design-space-exploration cache key
+#: (:mod:`repro.dse.cache`), so stale sweep results are never reused
+#: across cost-model revisions.
+#:
+#: 2: typed failure classification + ``EvalResult.diagnosis``.
+COST_MODEL_VERSION = 2
 
 __all__ = [
     "AreaReport", "accelerator_area", "single_module_area", "function_aluts",

@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import CgpaError, SimulationError
+from ..errors import (
+    CgpaError,
+    CycleBudgetExceeded,
+    DeadlockError,
+    SimulationError,
+)
 from ..frontend import compile_c
 from ..harness.runner import _setup_workload, cgpa_area
 from ..hw import AcceleratorSystem, DirectMappedCache
@@ -54,6 +59,10 @@ class EvalResult:
     cache_hit_rate: float | None = None
     checksum: float | None = None
     error: str | None = None
+    #: Multi-line watchdog wait-for-graph report for ``deadlock`` results
+    #: (which worker blocked on which FIFO op, occupancy snapshot,
+    #: suspected cycle); None for every other status.
+    diagnosis: str | None = None
     from_cache: bool = field(default=False, compare=False)
 
     @property
@@ -79,12 +88,15 @@ class EvalResult:
             "cache_hit_rate": self.cache_hit_rate,
             "checksum": self.checksum,
             "error": self.error,
+            "diagnosis": self.diagnosis,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "EvalResult":
         data = dict(data)
         data["point"] = DesignPoint.from_dict(data["point"])
+        # Tolerate cache entries written before the field existed.
+        data.setdefault("diagnosis", None)
         return cls(**data)
 
 
@@ -137,6 +149,22 @@ class Evaluator:
                               error=f"compile: {exc}")
         try:
             return self._simulate(point, compiled)
+        except DeadlockError as exc:
+            diagnosis = exc.diagnosis
+            return EvalResult(
+                point=point,
+                status="deadlock",
+                signature=compiled.full_signature,
+                error=str(exc).splitlines()[0],
+                diagnosis=diagnosis.format() if diagnosis else str(exc),
+            )
+        except CycleBudgetExceeded as exc:
+            return EvalResult(
+                point=point,
+                status="timeout",
+                signature=compiled.full_signature,
+                error=str(exc),
+            )
         except SimulationError as exc:
             return EvalResult(
                 point=point,
@@ -195,7 +223,16 @@ class Evaluator:
 
 
 def _classify_sim_failure(exc: SimulationError) -> str:
-    """Deadlock vs. cycle-budget exhaustion vs. anything else."""
+    """Deadlock vs. cycle-budget exhaustion vs. anything else.
+
+    .. deprecated::
+        Message-grepping fallback, kept only for :class:`SimulationError`
+        instances raised by code that predates the typed
+        :class:`~repro.errors.DeadlockError` /
+        :class:`~repro.errors.CycleBudgetExceeded` hierarchy.  The
+        evaluator catches the typed exceptions first; new failure paths
+        should raise those instead of relying on this classifier.
+    """
     message = str(exc)
     if "deadlock" in message:
         return "deadlock"

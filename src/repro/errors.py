@@ -60,3 +60,47 @@ class ScheduleError(CgpaError):
 
 class SimulationError(CgpaError):
     """Raised on hardware-simulator level failures (deadlock, bad state)."""
+
+
+class DeadlockError(SimulationError):
+    """The hardware reached a state from which no worker can ever progress.
+
+    Carries a structured wait-for-graph report
+    (:class:`repro.faults.watchdog.DeadlockDiagnosis`) in ``diagnosis``:
+    which worker is blocked on which FIFO operation, queue occupancy
+    snapshots, and the suspected cycle of mutually-waiting workers.  The
+    string form is the formatted diagnosis, so legacy callers that grep
+    the message keep working.
+    """
+
+    def __init__(self, message: str, diagnosis=None) -> None:
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class CycleBudgetExceeded(SimulationError):
+    """The simulated clock passed ``max_cycles`` without finishing.
+
+    Distinct from :class:`DeadlockError`: the system was still making
+    progress (or at least could have), it just ran past its budget —
+    livelock, pathological slowdown, or a budget set too tight.
+    """
+
+    def __init__(self, max_cycles: int, cycle: int | None = None) -> None:
+        super().__init__(f"exceeded max_cycles={max_cycles}")
+        self.max_cycles = max_cycles
+        self.cycle = cycle
+
+
+class InvariantViolationError(SimulationError):
+    """A conservation invariant failed during simulation.
+
+    Raised by :class:`repro.faults.monitor.InvariantMonitor` instead of
+    letting a corrupt simulator state produce silently wrong results.
+    ``violations`` is the list of structured
+    :class:`repro.faults.monitor.InvariantViolation` records.
+    """
+
+    def __init__(self, message: str, violations=None) -> None:
+        super().__init__(message)
+        self.violations = violations or []

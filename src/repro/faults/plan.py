@@ -1,0 +1,409 @@
+"""Deterministic, seeded fault plans and their runtime injector.
+
+A :class:`FaultPlan` is pure data: a seeded schedule of adversarial
+events drawn from the taxonomy below.  A :class:`FaultInjector` applies
+one plan to one simulation via the hooks the hardware models expose
+(:mod:`repro.hw.cache`, :mod:`repro.hw.fifo`, :mod:`repro.hw.worker`).
+Everything is deterministic given the seed, and — because both simulator
+engines replay the exact same cycle-level history — a plan perturbs the
+event-driven and lockstep engines bit-identically.
+
+Fault taxonomy:
+
+* :class:`MemLatencyFault` — every cache access issued inside the window
+  takes ``extra`` additional cycles (DRAM pressure, row-buffer misses).
+* :class:`CachePortStallFault` — the cache crossbar degrades to a single
+  port for the window (arbitration storms).
+* :class:`FifoBackpressureFault` — pushes to one FIFO buffer stall for
+  the window, as if the downstream consumer wedged its dequeue side.
+* :class:`WorkerHangFault` — one worker freezes permanently at its first
+  progress-capable cycle at or after ``at_cycle`` (an FSM wedge).  The
+  trigger waits for a cycle at which the worker *would* have advanced,
+  so stall attribution up to the hang stays identical in both engines.
+* :class:`FifoCorruptionFault` — the ``nth_push``-th value pushed
+  through one FIFO buffer is bit-flipped (single-event upset on a BRAM).
+
+Timing-only faults (the first three) must never change results — the
+pipeline absorbs them with stall cycles.  Hangs must be caught by the
+watchdog, corruption by end-to-end validation; the resilience sweep
+(:mod:`repro.faults.sweep`) measures exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Plan classes the generator knows how to draw.
+PLAN_KINDS = ("timing", "hang", "corruption")
+
+
+@dataclass(frozen=True)
+class MemLatencyFault:
+    """Cache accesses in ``[start, start+duration)`` take ``extra`` more cycles."""
+
+    start: int
+    duration: int
+    extra: int
+
+    kind = "mem_latency"
+    timing_only = True
+
+
+@dataclass(frozen=True)
+class CachePortStallFault:
+    """The cache crossbar serves one port in ``[start, start+duration)``."""
+
+    start: int
+    duration: int
+
+    kind = "cache_port_stall"
+    timing_only = True
+
+
+@dataclass(frozen=True)
+class FifoBackpressureFault:
+    """Pushes to FIFO buffer #``channel_index`` stall in the window."""
+
+    channel_index: int
+    start: int
+    duration: int
+
+    kind = "fifo_backpressure"
+    timing_only = True
+
+
+@dataclass(frozen=True)
+class WorkerHangFault:
+    """Worker with ``seq == worker_seq`` freezes from ``at_cycle`` on."""
+
+    worker_seq: int
+    at_cycle: int
+
+    kind = "worker_hang"
+    timing_only = False
+
+
+@dataclass(frozen=True)
+class FifoCorruptionFault:
+    """The ``nth_push``-th value through buffer #``channel_index`` is flipped."""
+
+    channel_index: int
+    nth_push: int
+    xor_mask: int
+
+    kind = "fifo_corruption"
+    timing_only = False
+
+
+_FAULT_TYPES = {
+    cls.kind: cls
+    for cls in (
+        MemLatencyFault,
+        CachePortStallFault,
+        FifoBackpressureFault,
+        WorkerHangFault,
+        FifoCorruptionFault,
+    )
+}
+
+
+@dataclass(frozen=True)
+class PlanContext:
+    """What the generator knows about the target system (from a fault-free
+    baseline run), so drawn faults actually land inside the execution.
+
+    ``fifo_pushes`` is the per-buffer push count of the baseline run, in
+    the system's buffer order; a corruption fault drawn against it is
+    guaranteed to fire.  ``n_workers`` counts every worker the baseline
+    forked (including the top/wrapper worker, seq 0).
+    """
+
+    horizon: int
+    n_workers: int = 1
+    fifo_pushes: tuple[int, ...] = ()
+
+    @property
+    def n_fifos(self) -> int:
+        return len(self.fifo_pushes)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable schedule of faults for one simulation run."""
+
+    seed: int
+    kind: str
+    faults: tuple = ()
+
+    @property
+    def timing_only(self) -> bool:
+        """True when the plan can only cost cycles, never correctness."""
+        return all(f.timing_only for f in self.faults)
+
+    def by_kind(self, kind: str) -> list:
+        return [f for f in self.faults if f.kind == kind]
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "empty plan"
+        return ", ".join(
+            f"{f.kind}({', '.join(f'{k}={v}' for k, v in sorted(vars(f).items()))})"
+            for f in self.faults
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kind": self.kind,
+            "faults": [
+                {"kind": f.kind, **vars(f)} for f in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        faults = []
+        for entry in data["faults"]:
+            entry = dict(entry)
+            fault_cls = _FAULT_TYPES[entry.pop("kind")]
+            faults.append(fault_cls(**entry))
+        return cls(seed=data["seed"], kind=data["kind"], faults=tuple(faults))
+
+    # -- generation -----------------------------------------------------------
+
+    @classmethod
+    def generate(cls, seed: int, kind: str, ctx: PlanContext) -> "FaultPlan":
+        """Draw one plan of ``kind`` for a system described by ``ctx``.
+
+        Deterministic: the same ``(seed, kind, ctx)`` always yields the
+        same plan, independent of engine, platform, or hash seed.
+        """
+        if kind not in PLAN_KINDS:
+            raise ValueError(f"unknown plan kind {kind!r}; expected {PLAN_KINDS}")
+        rng = random.Random(seed)
+        horizon = max(ctx.horizon, 16)
+        faults: list = list(_draw_timing(rng, horizon, ctx))
+        if kind == "hang" and ctx.n_workers > 1:
+            # Prefer pipeline workers (seq >= 1): hanging one wedges its
+            # FIFO neighbours, which is the scenario the watchdog must
+            # name a worker *and* a FIFO for.
+            seq = rng.randrange(1, ctx.n_workers)
+            # Early-to-middle of the run: late draws can miss workers
+            # that retire before the hang arms (reported as untriggered).
+            at = rng.randrange(horizon // 8, max(horizon // 2, horizon // 8 + 1))
+            faults.append(WorkerHangFault(worker_seq=seq, at_cycle=at))
+        elif kind == "corruption" and ctx.n_fifos:
+            candidates = [i for i, n in enumerate(ctx.fifo_pushes) if n > 0]
+            if candidates:
+                index = rng.choice(candidates)
+                nth = rng.randrange(ctx.fifo_pushes[index])
+                mask = rng.randrange(1, 1 << 20)
+                faults.append(
+                    FifoCorruptionFault(
+                        channel_index=index, nth_push=nth, xor_mask=mask
+                    )
+                )
+        return cls(seed=seed, kind=kind, faults=tuple(faults))
+
+
+def _draw_timing(
+    rng: random.Random, horizon: int, ctx: PlanContext
+) -> Iterable:
+    """1-3 latency windows, 0-2 port storms, 0-2 back-pressure bursts."""
+    for _ in range(rng.randint(1, 3)):
+        start = rng.randrange(horizon)
+        yield MemLatencyFault(
+            start=start,
+            duration=rng.randint(1, max(horizon // 4, 1)),
+            extra=rng.randint(1, 64),
+        )
+    for _ in range(rng.randint(0, 2)):
+        yield CachePortStallFault(
+            start=rng.randrange(horizon),
+            duration=rng.randint(1, max(horizon // 8, 1)),
+        )
+    if ctx.n_fifos:
+        for _ in range(rng.randint(0, 2)):
+            yield FifoBackpressureFault(
+                channel_index=rng.randrange(ctx.n_fifos),
+                start=rng.randrange(horizon),
+                duration=rng.randint(1, max(horizon // 8, 1)),
+            )
+
+
+# -- runtime injection ---------------------------------------------------------
+
+
+class NullInjector:
+    """Zero-overhead default: every hook is a no-op.
+
+    The hardware models guard each hook behind ``injector.enabled`` (a
+    plain attribute read), mirroring the telemetry ``NULL_SINK`` pattern,
+    so a fault-free simulation pays one boolean check per site.
+    """
+
+    enabled = False
+
+    def attach(self, system) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def mem_extra(self, cycle: int) -> int:
+        return 0
+
+    def port_limited(self, cycle: int) -> bool:
+        return False
+
+    def fifo_blocked_until(self, fifo, cycle: int) -> int:
+        return 0
+
+    def note_backpressure_block(self, fifo, cycle: int) -> None:
+        pass
+
+    def corrupt_value(self, fifo, value):
+        return value
+
+    def hang_pending(self, worker, cycle: int) -> bool:
+        return False
+
+    def hang_triggered(self, worker) -> None:
+        pass
+
+
+#: Shared do-nothing injector; instrumented objects default to this.
+NULL_INJECTOR = NullInjector()
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one simulation run.
+
+    Holds the only mutable state of the fault layer (per-buffer push
+    counters, the set of faults that actually fired);
+    ``AcceleratorSystem.run`` resets and re-attaches it at the start of
+    every run, so a reused system replays the plan identically.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._mem_windows = [
+            (f.start, f.start + f.duration, f.extra, f)
+            for f in plan.by_kind("mem_latency")
+        ]
+        self._port_windows = [
+            (f.start, f.start + f.duration, f)
+            for f in plan.by_kind("cache_port_stall")
+        ]
+        self._hangs = {f.worker_seq: f for f in plan.by_kind("worker_hang")}
+        #: Resolved at attach time (channel_index -> concrete buffer).
+        self._bp_by_channel: dict[int, list] = {}
+        self._corruption_by_channel: dict[int, FifoCorruptionFault] = {}
+        self._push_counts: dict[int, int] = {}
+        #: Faults that observably fired during the current run.
+        self.triggered: set = set()
+
+    def attach(self, system) -> None:
+        """Resolve channel indices against the system's buffer list."""
+        self._bp_by_channel.clear()
+        self._corruption_by_channel.clear()
+        fifos = list(system.fifos.values())
+        if not fifos:
+            return
+        for fault in self.plan.by_kind("fifo_backpressure"):
+            channel_id = fifos[fault.channel_index % len(fifos)].channel.channel_id
+            self._bp_by_channel.setdefault(channel_id, []).append(
+                (fault.start, fault.start + fault.duration, fault)
+            )
+        for fault in self.plan.by_kind("fifo_corruption"):
+            channel_id = fifos[fault.channel_index % len(fifos)].channel.channel_id
+            self._corruption_by_channel[channel_id] = fault
+
+    def reset(self) -> None:
+        self._push_counts.clear()
+        self.triggered.clear()
+
+    # -- hooks (called from repro.hw) ---------------------------------------
+
+    def mem_extra(self, cycle: int) -> int:
+        extra = 0
+        for start, end, amount, fault in self._mem_windows:
+            if start <= cycle < end:
+                extra += amount
+                self.triggered.add(fault)
+        return extra
+
+    def port_limited(self, cycle: int) -> bool:
+        for start, end, fault in self._port_windows:
+            if start <= cycle < end:
+                self.triggered.add(fault)
+                return True
+        return False
+
+    def fifo_blocked_until(self, fifo, cycle: int) -> int:
+        """Cycle at which injected back-pressure on ``fifo`` clears (0 = free).
+
+        Deliberately side-effect free: the lockstep engine re-evaluates a
+        blocked push every cycle while the event engine sleeps through
+        the stall, so recording ``triggered`` here would diverge between
+        them.  :meth:`note_backpressure_block` records it instead, at the
+        block-transition tick both engines execute.
+        """
+        until = 0
+        for start, end, _fault in self._bp_by_channel.get(
+            fifo.channel.channel_id, ()
+        ):
+            if start <= cycle < end:
+                until = max(until, end)
+        return until
+
+    def note_backpressure_block(self, fifo, cycle: int) -> None:
+        """Record that an injected window blocked a push at ``cycle``."""
+        for start, end, fault in self._bp_by_channel.get(
+            fifo.channel.channel_id, ()
+        ):
+            if start <= cycle < end:
+                self.triggered.add(fault)
+
+    def corrupt_value(self, fifo, value):
+        """Count one push event on ``fifo``; flip the value if scheduled."""
+        fault = self._corruption_by_channel.get(fifo.channel.channel_id)
+        if fault is None:
+            return value
+        count = self._push_counts.get(fifo.channel.channel_id, 0)
+        self._push_counts[fifo.channel.channel_id] = count + 1
+        if count != fault.nth_push:
+            return value
+        self.triggered.add(fault)
+        return flip_value(value, fault.xor_mask)
+
+    def hang_pending(self, worker, cycle: int) -> bool:
+        fault = self._hangs.get(worker.seq)
+        return fault is not None and cycle >= fault.at_cycle
+
+    def hang_triggered(self, worker) -> None:
+        self.triggered.add(self._hangs[worker.seq])
+
+
+def flip_value(value, mask: int):
+    """Deterministically bit-flip a simulated value.
+
+    Integers are XORed with the mask.  Floats have mantissa bits of
+    their IEEE-754 representation flipped (exponent and sign untouched,
+    so the result stays finite and comparable).
+    """
+    if isinstance(value, bool):  # bools are ints; keep them boolean
+        return not value
+    if isinstance(value, int):
+        return value ^ (mask or 1)
+    bits = struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+    # Shift the 20-bit mask into the mantissa's mid bits (26..45): large
+    # enough to matter (relative error up to ~2^-7), but exponent and
+    # sign stay untouched so the result remains finite and comparable.
+    bits ^= ((mask or 1) & 0xFFFFF) << 26
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]

@@ -9,6 +9,12 @@ Usage::
                                            # + bottleneck analysis on disk
     python -m repro.harness dse ks         # design-space sweep + Pareto
                                            # frontier + JSON on disk
+    python -m repro.harness faults ks      # resilience sweep: seeded fault
+                                           # plans + watchdog diagnosis
+
+Every subcommand turns a simulator or compiler failure
+(:class:`~repro.errors.CgpaError`) into a one-line ``error:`` diagnosis
+on stderr and exit status 1 — no tracebacks for model-level failures.
 """
 
 from __future__ import annotations
@@ -213,6 +219,77 @@ def dse_main(argv: list[str]) -> int:
     return 0
 
 
+def faults_main(argv: list[str]) -> int:
+    """``python -m repro.harness faults <kernel>`` — resilience sweep."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness faults",
+        description="Inject seeded fault plans (memory latency, cache-port "
+        "storms, FIFO back-pressure, worker hangs, value corruption) into "
+        "one kernel's pipeline.  Timing faults must leave liveouts "
+        "bit-identical to the interpreter oracle; hangs must be diagnosed "
+        "by the deadlock watchdog; corruption detection is reported.  "
+        "Deterministic for a given (kernel, seed); the report is "
+        "byte-identical across both simulator engines.",
+    )
+    parser.add_argument(
+        "kernel", choices=sorted(KERNELS_BY_NAME),
+        help="kernel to stress",
+    )
+    parser.add_argument(
+        "--plans", type=_positive_int, default=8,
+        help="fault plans per class (timing/hang/corruption; default: 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed deriving every plan's schedule (default: 0)",
+    )
+    parser.add_argument(
+        "--engine", default="event", choices=["event", "lockstep"],
+        help="simulator clock loop (default: event); the report is "
+        "byte-identical under either",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="parallel-stage worker count (paper default: 4)",
+    )
+    parser.add_argument(
+        "--fifo-depth", type=_positive_int, default=16,
+        help="FIFO entries per channel (paper default: 16)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=_positive_int, default=None,
+        help="per-plan simulated-cycle budget (default: 64x the fault-free "
+        "baseline); exceeding it records the plan as outcome=timeout",
+    )
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None, metavar="PATH",
+        help="also write the full sweep (plans + outcomes) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from ..faults.sweep import resilience_sweep
+
+    spec = KERNELS_BY_NAME[args.kernel]
+    report = resilience_sweep(
+        spec,
+        n_plans=args.plans,
+        seed=args.seed,
+        engine=args.engine,
+        n_workers=args.workers,
+        fifo_depth=args.fifo_depth,
+        max_cycles=args.max_cycles,
+    )
+    print(report.format())
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print()
+        print(f"full sweep JSON: {args.json}")
+    return 0
+
+
 def trace_main(argv: list[str]) -> int:
     """``python -m repro.harness trace <kernel>`` — traced simulation."""
     parser = argparse.ArgumentParser(
@@ -247,6 +324,11 @@ def trace_main(argv: list[str]) -> int:
         help="simulator clock loop: event-driven skip-ahead (default) or "
         "the tick-every-cycle lockstep oracle; cycle counts are identical",
     )
+    parser.add_argument(
+        "--max-cycles", type=_positive_int, default=None,
+        help="simulated-cycle budget; a run exceeding it fails with a "
+        "one-line CycleBudgetExceeded diagnosis (default: 500M)",
+    )
     args = parser.parse_args(argv)
 
     spec = KERNELS_BY_NAME[args.kernel]
@@ -254,6 +336,7 @@ def trace_main(argv: list[str]) -> int:
     result = run_backend(
         spec, args.backend, n_workers=args.workers,
         fifo_depth=args.fifo_depth, sink=sink, engine=args.engine,
+        max_cycles=args.max_cycles,
     )
     sim = result.sim
     assert sim is not None  # hardware backends always carry a SimReport
@@ -285,14 +368,33 @@ def trace_main(argv: list[str]) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Parse arguments and run the requested experiment set."""
+    """Parse arguments, dispatch, and fold model failures into exit 1.
 
+    Every subcommand shares this one :class:`~repro.errors.CgpaError`
+    boundary (which covers :class:`~repro.errors.SimulationError` and the
+    typed deadlock/budget exceptions under it): the user sees a one-line
+    ``error:`` diagnosis on stderr instead of a traceback, and scripts
+    get a clean non-zero exit status.
+    """
     if argv is None:
         argv = sys.argv[1:]
+    from ..errors import CgpaError
+
+    try:
+        return _dispatch(argv)
+    except CgpaError as exc:
+        print(f"error: {str(exc).splitlines()[0]}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(argv: list[str]) -> int:
+    """Route to a subcommand or run the default experiment set."""
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "dse":
         return dse_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -315,6 +417,11 @@ def main(argv: list[str] | None = None) -> int:
         help="simulator clock loop: event-driven skip-ahead (default) or "
         "the tick-every-cycle lockstep oracle; cycle counts are identical",
     )
+    parser.add_argument(
+        "--max-cycles", type=_positive_int, default=None,
+        help="simulated-cycle budget per backend run; a run exceeding it "
+        "fails with a one-line CycleBudgetExceeded diagnosis (default: 500M)",
+    )
     args = parser.parse_args(argv)
 
     if args.kernel:
@@ -323,7 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         if spec.supports_p2:
             backends.append("cgpa-p2")
         run = run_kernel(spec, tuple(backends), n_workers=args.workers,
-                         engine=args.engine)
+                         engine=args.engine, max_cycles=args.max_cycles)
         mips = run.results["mips"].cycles
         print(f"{spec.name} ({spec.domain}): {spec.description}")
         for backend, result in run.results.items():

@@ -142,6 +142,7 @@ def run_backend(
     cache_kwargs: dict | None = None,
     sink: TraceSink | None = None,
     engine: str = "event",
+    max_cycles: int | None = None,
 ) -> BackendResult:
     """Compile, simulate and score one kernel on one backend.
 
@@ -152,6 +153,10 @@ def run_backend(
 
     ``engine`` selects the simulator clock loop (``"event"`` skip-ahead
     or the ``"lockstep"`` oracle); both report identical cycle counts.
+
+    ``max_cycles`` caps the simulated clock; a run that exceeds it raises
+    :class:`~repro.errors.CycleBudgetExceeded` (hardware backends only —
+    the MIPS cost model executes a finite instruction trace).
     """
     cache_kwargs = dict(cache_kwargs or {})
     if backend == "mips":
@@ -177,12 +182,16 @@ def run_backend(
         optimize_module(module)
         memory, globals_, args = _setup_workload(module, spec)
         cache_kwargs.setdefault("ports", 8)
+        system_kwargs = {}
+        if max_cycles is not None:
+            system_kwargs["max_cycles"] = max_cycles
         system = AcceleratorSystem(
             module, memory,
             cache=DirectMappedCache(**cache_kwargs),
             global_addresses=globals_,
             sink=sink,
             engine=engine,
+            **system_kwargs,
         )
         sim = system.run(spec.measure_entry, args)
         area = single_module_area(module.get_function(spec.measure_entry))
@@ -218,6 +227,9 @@ def run_backend(
         )
         memory, globals_, args = _setup_workload(compiled.module, spec)
         cache_kwargs.setdefault("ports", 8)
+        system_kwargs = {}
+        if max_cycles is not None:
+            system_kwargs["max_cycles"] = max_cycles
         system = AcceleratorSystem(
             compiled.module,
             memory,
@@ -226,6 +238,7 @@ def run_backend(
             global_addresses=globals_,
             sink=sink,
             engine=engine,
+            **system_kwargs,
         )
         sim = system.run(spec.measure_entry, args)
         area = cgpa_area(compiled)
@@ -272,6 +285,7 @@ def run_kernel(
     cache_kwargs: dict | None = None,
     validate: bool = True,
     engine: str = "event",
+    max_cycles: int | None = None,
 ) -> KernelRun:
     """Run one kernel on all requested backends and cross-validate."""
     run = KernelRun(spec)
@@ -280,7 +294,7 @@ def run_kernel(
             continue
         run.results[backend] = run_backend(
             spec, backend, n_workers=n_workers, fifo_depth=fifo_depth,
-            cache_kwargs=cache_kwargs, engine=engine,
+            cache_kwargs=cache_kwargs, engine=engine, max_cycles=max_cycles,
         )
     if validate:
         run.validate()

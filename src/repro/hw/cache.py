@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults.plan import NULL_INJECTOR
 from ..telemetry.events import NULL_SINK, TraceSink
 
 
@@ -80,6 +81,8 @@ class DirectMappedCache:
         self._memory_free_at = 0
         self.stats = CacheStats()
         self.sink: TraceSink = NULL_SINK
+        #: Fault-injection hooks (no-op unless a plan is attached).
+        self.injector = NULL_INJECTOR
 
     def _index_and_tag(self, addr: int) -> tuple[int, int]:
         block = addr // self.block_size
@@ -114,6 +117,12 @@ class DirectMappedCache:
                 self._prefetch_line(addr + self.block_size)
         if is_write:
             self._dirty[index] = True
+        if self.injector.enabled:
+            # Injected DRAM pressure: the transaction's data comes back
+            # late, but the bus reservation (_memory_free_at) is left
+            # untouched — the extra cycles model downstream interconnect
+            # latency, not occupancy.
+            ready += self.injector.mem_extra(cycle)
         if self.sink.enabled:
             self.sink.cache_access(cycle, addr, is_write, hit, ready)
         return ready
@@ -133,7 +142,17 @@ class DirectMappedCache:
 
     def _arbitrate(self, cycle: int) -> int:
         current = cycle
-        while self._port_usage.get(current, 0) >= self.ports:
+        injector = self.injector
+        while True:
+            # An injected arbitration storm degrades the crossbar to a
+            # single port for the cycles its window covers.
+            ports = (
+                1
+                if injector.enabled and injector.port_limited(current)
+                else self.ports
+            )
+            if self._port_usage.get(current, 0) < ports:
+                break
             current += 1
             self.stats.port_conflicts += 1
         self._port_usage[current] = self._port_usage.get(current, 0) + 1

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..errors import SimulationError
+from ..faults.watchdog import WATCHDOG
 from ..telemetry.events import CycleCategory
 from .worker import NEVER, HwWorker
 
@@ -63,7 +63,12 @@ class EventScheduler:
     # -- wait registration (called from HwWorker._arm) -------------------------
 
     def wait_on_fifo(self, worker: HwWorker, fifo: "FifoBuffer") -> None:
-        self._fifo_waiters.setdefault(id(fifo), []).append(worker)
+        waiters = self._fifo_waiters.setdefault(id(fifo), [])
+        # A worker can re-block on the same buffer after an injected
+        # back-pressure timer expired without ever being woken (and thus
+        # without being removed from the list); don't register it twice.
+        if worker not in waiters:
+            waiters.append(worker)
 
     def wait_on_join(self, worker: HwWorker, loop_id: int) -> None:
         self._join_waiters.setdefault(loop_id, []).append(worker)
@@ -164,16 +169,21 @@ class EventScheduler:
         system = self.system
         workers = system._workers  # live list: forks append mid-run
         max_cycles = system.max_cycles
+        monitor = system.monitor
+        next_check = monitor.interval if monitor is not None else 0
         cycle = 0
         while not main.done:
             cycle = min(w.next_due for w in workers)
             if cycle >= NEVER:
-                raise SimulationError(self._deadlock_message())
+                # self._cycle is the last simulated cycle — the one at
+                # which the final worker blocked, which is exactly where
+                # the lockstep engine's per-cycle check fires too.
+                raise WATCHDOG.deadlock(system, self._cycle)
             if cycle >= max_cycles:
                 # Lockstep never completes a run whose clock reaches
                 # max_cycles; fail with the identical error without
                 # grinding through the remaining cycles.
-                raise SimulationError(f"exceeded max_cycles={max_cycles}")
+                raise WATCHDOG.budget_exceeded(system, cycle)
             self._cycle = cycle
             for worker in list(workers):
                 if worker.next_due <= cycle:
@@ -183,27 +193,14 @@ class EventScheduler:
                     worker.tick(cycle)
             self._active_seq = -1
             cycle += 1
+            if monitor is not None and cycle >= next_check:
+                monitor.check(system, cycle)
+                next_check = (
+                    cycle // monitor.interval + 1
+                ) * monitor.interval
         # Pad every worker to the run's end: lockstep keeps clocking
         # finished (idle) and still-blocked workers until main retires.
         for worker in workers:
             if worker.synced_until < cycle:
                 self._flush(worker, cycle)
         return cycle
-
-    def _deadlock_message(self) -> str:
-        parts = []
-        for worker in self.system._workers:
-            if worker.done:
-                continue
-            reason = worker.wait_category.value
-            if worker._blocked_fifo is not None and worker.wait_category in (
-                CycleCategory.FIFO_FULL,
-                CycleCategory.FIFO_EMPTY,
-            ):
-                reason += f" on {worker._blocked_fifo.name}"
-            parts.append(f"{worker.name} ({reason})")
-        detail = ", ".join(parts) or "no live workers"
-        return (
-            f"hardware deadlock at cycle {self._cycle}: no runnable worker "
-            f"and no pending event; blocked: {detail}"
-        )

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
+from ..faults.plan import NULL_INJECTOR
 from ..ir.primitives import Channel
 from ..telemetry.events import NULL_SINK, TraceSink
 
@@ -34,6 +35,10 @@ class FifoStats:
     full_stall_cycles: int = 0
     empty_stall_cycles: int = 0
     max_occupancy: int = 0
+    #: Values discarded by a join-time :meth:`FifoBuffer.reset`; closes the
+    #: conservation law ``pushes == pops + occupancy + flushed`` that the
+    #: invariant monitor (:mod:`repro.faults.monitor`) checks.
+    flushed: int = 0
     #: Static geometry, mirrored here so post-hoc analysis
     #: (:mod:`repro.telemetry.bottleneck`) can tell saturation from slack.
     depth: int = 0
@@ -48,6 +53,9 @@ class FifoBuffer:
         self.queues: list[deque] = [deque() for _ in range(channel.n_channels)]
         self.stats = FifoStats(depth=channel.depth, n_queues=channel.n_channels)
         self.sink = sink
+        #: Fault-injection hooks (the zero-overhead null injector unless a
+        #: :class:`~repro.faults.plan.FaultInjector` is attached).
+        self.injector = NULL_INJECTOR
         #: Event scheduler to notify on push/pop/reset so blocked workers
         #: re-arm without polling (None under the lockstep engine).
         self.engine: "EventScheduler | None" = None
@@ -68,6 +76,18 @@ class FifoBuffer:
     def can_pop(self, index: int) -> bool:
         return bool(self.queues[index])
 
+    def injected_block_until(self, cycle: int) -> int:
+        """End of an injected back-pressure window covering ``cycle``.
+
+        0 when pushes are unhindered.  Producers treat an active window
+        exactly like a full queue (a ``fifo_full_stall`` cycle), except
+        the blocked FSM can re-arm on the window end rather than waiting
+        for a pop event.
+        """
+        if self.injector.enabled:
+            return self.injector.fifo_blocked_until(self, cycle)
+        return 0
+
     # -- data ---------------------------------------------------------------------
 
     def push(self, index: int, value, cycle: int = 0) -> None:
@@ -76,6 +96,8 @@ class FifoBuffer:
                 f"{self.name}: push to full queue {index} "
                 f"(depth {self.channel.depth})"
             )
+        if self.injector.enabled:
+            value = self.injector.corrupt_value(self, value)
         self.queues[index].append(value)
         self.stats.pushes += 1
         self.stats.max_occupancy = max(
@@ -92,7 +114,13 @@ class FifoBuffer:
         if not self.can_push_broadcast():
             raise SimulationError(f"{self.name}: broadcast push to full buffer")
         for index, queue in enumerate(self.queues):
-            queue.append(value)
+            copy = value
+            if self.injector.enabled:
+                # Each queue holds its own BRAM copy of a broadcast value,
+                # so an upset flips one copy; counting per copy also keeps
+                # the injector's push counter aligned with stats.pushes.
+                copy = self.injector.corrupt_value(self, value)
+            queue.append(copy)
             self.stats.max_occupancy = max(self.stats.max_occupancy, len(queue))
             if self.sink.enabled:
                 self.sink.fifo_occupancy(self.name, index, cycle, len(queue))
@@ -120,6 +148,7 @@ class FifoBuffer:
         """Flush all queues (accelerator start signal)."""
         for index, queue in enumerate(self.queues):
             had = bool(queue)
+            self.stats.flushed += len(queue)
             queue.clear()
             if had and self.sink.enabled:
                 self.sink.fifo_occupancy(self.name, index, cycle, 0)

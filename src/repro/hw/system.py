@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SimulationError
+from ..faults.plan import NULL_INJECTOR
+from ..faults.watchdog import WATCHDOG
 from ..interp.interpreter import _place_globals
 from ..interp.memory import Memory
 from ..ir.function import Function
@@ -75,6 +76,8 @@ class AcceleratorSystem:
         private_caches: bool = False,
         sink: TraceSink | None = None,
         engine: str = "event",
+        injector=None,
+        monitor=None,
     ) -> None:
         """``private_caches`` models the memory-partitioning option of the
         paper's Appendix B.1: each worker gets its own single-ported cache
@@ -86,7 +89,13 @@ class AcceleratorSystem:
         clock between worker wake events (:mod:`repro.hw.engine`),
         ``"lockstep"`` ticks every worker every cycle.  Both produce
         bit-identical :class:`SimReport`\\ s; lockstep is kept as the
-        differential-testing oracle."""
+        differential-testing oracle.
+
+        ``injector`` applies one :class:`~repro.faults.plan.FaultPlan`
+        through the hardware models' injection hooks (default: the
+        zero-overhead null injector).  ``monitor`` is an optional
+        :class:`~repro.faults.monitor.InvariantMonitor` run every
+        ``interval`` cycles and once at end of run."""
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
         self.engine_kind = engine
@@ -96,8 +105,13 @@ class AcceleratorSystem:
         #: Telemetry receiver; the do-nothing default costs one boolean
         #: check per instrumented event site.
         self.sink: TraceSink = sink if sink is not None else NULL_SINK
+        #: Fault-injection hooks, propagated to every cache and FIFO the
+        #: system creates (same null-object pattern as the trace sink).
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.monitor = monitor
         self.cache = cache if cache is not None else DirectMappedCache()
         self.cache.sink = self.sink
+        self.cache.injector = self.injector
         self.private_caches = private_caches
         self._private_cache_pool: list[DirectMappedCache] = []
         self.max_cycles = max_cycles
@@ -109,7 +123,9 @@ class AcceleratorSystem:
         self._fifos: dict[int, FifoBuffer] = {}
         if channels is not None:
             for channel in channels:
-                self._fifos[id(channel)] = FifoBuffer(channel, sink=self.sink)
+                fifo = FifoBuffer(channel, sink=self.sink)
+                fifo.injector = self.injector
+                self._fifos[id(channel)] = fifo
         self.liveout_regs: dict[int, int | float] = {}
         self._workers: list[HwWorker] = []
         self._loop_groups: dict[int, list[HwWorker]] = {}
@@ -126,6 +142,7 @@ class AcceleratorSystem:
     def fifo_for(self, channel: Channel) -> FifoBuffer:
         if id(channel) not in self._fifos:
             fifo = FifoBuffer(channel, sink=self.sink)
+            fifo.injector = self.injector
             fifo.engine = self._scheduler
             self._fifos[id(channel)] = fifo
         return self._fifos[id(channel)]
@@ -144,6 +161,7 @@ class AcceleratorSystem:
             miss_penalty=self.cache.miss_penalty,
         )
         slice_.sink = self.sink
+        slice_.injector = self.injector
         self._private_cache_pool.append(slice_)
         return slice_
 
@@ -208,6 +226,11 @@ class AcceleratorSystem:
         self.invocations = 0
         self._workers = []
         self._loop_groups.clear()
+        if self.injector.enabled:
+            self.injector.reset()
+            self.injector.attach(self)
+        if self.monitor is not None:
+            self.monitor.start_run()
 
     def run(self, entry: str | Function, args: list[int | float]) -> SimReport:
         if isinstance(entry, str):
@@ -232,6 +255,10 @@ class AcceleratorSystem:
             for fifo in self._fifos.values():
                 fifo.engine = None
 
+        if self.monitor is not None:
+            # Final conservation check, while main is still in the worker
+            # list (the token-conservation sums include its FIFO traffic).
+            self.monitor.check(self, cycles, final=True)
         self._workers.remove(main)
         if self.sink.enabled:
             self.sink.end_run(cycles)
@@ -258,22 +285,33 @@ class AcceleratorSystem:
         ``AcceleratorSystem(..., engine="lockstep")``.
         """
         cycle = 0
-        last_progress = -1
+        monitor = self.monitor
+        next_check = monitor.interval if monitor is not None else 0
         while not main.done:
             for worker in list(self._workers):
                 worker.tick(cycle)
+            if not main.done and self._deadlocked(cycle):
+                # Exact detection, at the same cycle the event engine
+                # reports "no runnable worker and no pending event".
+                raise WATCHDOG.deadlock(self, cycle)
             cycle += 1
             if cycle > self.max_cycles:
-                raise SimulationError(f"exceeded max_cycles={self.max_cycles}")
-            if cycle % 16384 == 0:
-                progress = sum(w.progress for w in self._workers)
-                if progress == last_progress:
-                    raise SimulationError(
-                        f"hardware deadlock at cycle {cycle}: no worker "
-                        f"progressed in 16k cycles"
-                    )
-                last_progress = progress
+                raise WATCHDOG.budget_exceeded(self, cycle)
+            if monitor is not None and cycle >= next_check:
+                monitor.check(self, cycle)
+                next_check = (cycle // monitor.interval + 1) * monitor.interval
         return cycle
+
+    def _deadlocked(self, cycle: int) -> bool:
+        """True when every live worker is blocked on another worker's
+        action (the lockstep mirror of the event engine's "every worker
+        parked at NEVER")."""
+        for worker in self._workers:
+            if worker.done:
+                continue
+            if not worker.event_blocked(cycle):
+                return False
+        return True
 
     def _aggregate_cache_stats(self) -> CacheStats:
         """Report-level cache summary covering every cache the run used.

@@ -161,6 +161,10 @@ class HwWorker:
         if self._trace and start_cycle > 0:
             self._sink.worker_span(name, CycleCategory.IDLE, 0, start_cycle)
         self.done = False
+        #: Frozen by an injected :class:`~repro.faults.plan.WorkerHangFault`
+        #: (or a wedged FSM): the worker ticks as IDLE forever and never
+        #: finishes, so anything downstream of it eventually deadlocks.
+        self.hung = False
         self.return_value: int | float | None = None
         #: Loop group this worker was forked into (None for the top worker).
         self.loop_id: int | None = None
@@ -177,11 +181,19 @@ class HwWorker:
         #: Category every not-yet-attributed cycle since ``synced_until``
         #: belongs to (the worker's current wait reason).
         self.wait_category = CycleCategory.IDLE
+        #: Category of the most recent tick; the lockstep deadlock check
+        #: and the watchdog's wait-for-graph snapshot read it.
+        self.last_category = CycleCategory.IDLE
         self._waiting_until = 0
         self._pending_mem: tuple[Instruction, int] | None = None
         self._blocked_fifo = None
         self._blocked_index: int | None = None
         self._blocked_loop = -1
+        #: End of the injected back-pressure window currently blocking a
+        #: push (0 when the block is a genuinely full queue); lets the
+        #: event engine re-arm on a timer instead of waiting for a pop.
+        self._blocked_until = 0
+        self._injector = system.injector
         #: The cache this worker's memory port talks to (shared, or a
         #: private slice under the Appendix B.1 memory-partitioning mode).
         self.cache = system.cache_for_new_worker()
@@ -217,6 +229,7 @@ class HwWorker:
     def tick(self, cycle: int) -> None:
         """Advance one clock edge, attributing the cycle to one category."""
         category = self._tick(cycle)
+        self.last_category = category
         stats = self.stats
         if category is CycleCategory.COMPUTE:
             stats.active_cycles += 1
@@ -244,7 +257,7 @@ class HwWorker:
         condition, so the clock can jump straight past the whole stall.
         """
         self.synced_until = cycle + 1
-        if self.done:
+        if self.done or self.hung:
             self.next_due = NEVER
             self.wait_category = CycleCategory.IDLE
         elif category is CycleCategory.COMPUTE:
@@ -253,9 +266,14 @@ class HwWorker:
             self.next_due = max(self._waiting_until, cycle + 1)
             self.wait_category = CycleCategory.CACHE
         elif category is CycleCategory.FIFO_FULL:
-            self.next_due = NEVER
             self.wait_category = category
-            self.engine.wait_on_fifo(self, self._blocked_fifo)
+            if self._blocked_until > cycle:
+                # Injected back-pressure: the window end is a statically
+                # known retry time, so arm a timer instead of a pop wake.
+                self.next_due = self._blocked_until
+            else:
+                self.next_due = NEVER
+                self.engine.wait_on_fifo(self, self._blocked_fifo)
         elif category is CycleCategory.FIFO_EMPTY:
             self.next_due = NEVER
             self.wait_category = category
@@ -269,12 +287,24 @@ class HwWorker:
             self.wait_category = CycleCategory.IDLE
 
     def _tick(self, cycle: int) -> CycleCategory:
-        if self.done:
+        if self.done or self.hung:
             return CycleCategory.IDLE
         if cycle < self.start_cycle:
             return CycleCategory.IDLE
         if cycle < self._waiting_until:
             return CycleCategory.CACHE
+        if (
+            self._injector.enabled
+            and self._injector.hang_pending(self, cycle)
+            and not self._would_block(cycle)
+        ):
+            # Freeze only at a progress-capable tick: during a stall both
+            # engines attribute the same wait cycles whether or not the
+            # hang is pending, so the simulated history up to the freeze
+            # stays bit-identical between them.
+            self.hung = True
+            self._injector.hang_triggered(self)
+            return CycleCategory.IDLE
         if self._pending_mem is not None:
             self._complete_memory()
         frame = self._frames[-1]
@@ -314,6 +344,75 @@ class HwWorker:
         if self._trace:
             self._emit_state(cycle)
         return CycleCategory.COMPUTE
+
+    def _would_block(self, cycle: int) -> bool:
+        """Read-only probe: would ``_tick(cycle)`` stall without progress?
+
+        Used to defer an injected hang to a progress-capable tick.  Must
+        stay side-effect free: it runs every lockstep cycle while a hang
+        is pending but only at wake ticks under the event engine, so any
+        state it touched would break engine bit-identity.
+        """
+        if self._pending_mem is not None:
+            return False  # completing the outstanding access is progress
+        frame = self._frames[-1]
+        ops = (
+            frame.state_ops[frame.state]
+            if frame.state < len(frame.state_ops)
+            else []
+        )
+        if frame.cursor >= len(ops):
+            return False  # state advance is progress
+        inst = ops[frame.cursor]
+        if isinstance(inst, Produce):
+            fifo = self.system.fifo_for(inst.channel)
+            index = int(self._value(frame, inst.worker_select)) % inst.channel.n_channels
+            if self._injector.enabled and fifo.injected_block_until(cycle) > cycle:
+                return True
+            return not fifo.can_push(index)
+        if isinstance(inst, ProduceBroadcast):
+            fifo = self.system.fifo_for(inst.channel)
+            if self._injector.enabled and fifo.injected_block_until(cycle) > cycle:
+                return True
+            return not fifo.can_push_broadcast()
+        if isinstance(inst, Consume):
+            fifo = self.system.fifo_for(inst.channel)
+            if inst.worker_select is not None:
+                index = int(self._value(frame, inst.worker_select)) % inst.channel.n_channels
+            else:
+                index = self.worker_id % inst.channel.n_channels
+            return not fifo.can_pop(index)
+        if isinstance(inst, ParallelJoin):
+            return not self.system.join_ready(inst.loop_id)
+        return False
+
+    def event_blocked(self, cycle: int) -> bool:
+        """True when only another worker's action can unblock this worker.
+
+        The lockstep engine's per-cycle deadlock test: exactly the
+        condition under which the event engine parks the worker at
+        ``NEVER``, so both engines detect a deadlock at the same cycle.
+        """
+        if self.done:
+            return False
+        if self.hung:
+            return True
+        category = self.last_category
+        if category is CycleCategory.FIFO_FULL:
+            if self._blocked_until > cycle:
+                # An active injected back-pressure window has a known end
+                # (a pending timer under the event engine): not a deadlock.
+                return False
+            # Recheck the queue: a pop later in this same cycle would
+            # have queued a wake event under the event engine.
+            if self._blocked_index is None:
+                return not self._blocked_fifo.can_push_broadcast()
+            return not self._blocked_fifo.can_push(self._blocked_index)
+        if category is CycleCategory.FIFO_EMPTY:
+            return not self._blocked_fifo.can_pop(self._blocked_index)
+        if category is CycleCategory.JOIN:
+            return not self.system.join_ready(self._blocked_loop)
+        return False
 
     def _emit_state(self, cycle: int) -> None:
         frame = self._frames[-1]
@@ -386,22 +485,40 @@ class HwWorker:
         if isinstance(inst, Produce):
             fifo = self.system.fifo_for(inst.channel)
             index = int(self._value(frame, inst.worker_select)) % inst.channel.n_channels
-            if not fifo.can_push(index):
+            blocked_until = (
+                fifo.injected_block_until(cycle) if self._injector.enabled else 0
+            )
+            if blocked_until > cycle or not fifo.can_push(index):
+                if (
+                    blocked_until > cycle
+                    and self.last_category is not CycleCategory.FIFO_FULL
+                ):
+                    self._injector.note_backpressure_block(fifo, cycle)
                 fifo.stats.full_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
                 self._blocked_fifo = fifo
                 self._blocked_index = index
+                self._blocked_until = blocked_until
                 return "wait_full"
             fifo.push(index, self._value(frame, inst.value), cycle)
             self.stats.fifo_pushes += 1
             return "ok"
         if isinstance(inst, ProduceBroadcast):
             fifo = self.system.fifo_for(inst.channel)
-            if not fifo.can_push_broadcast():
+            blocked_until = (
+                fifo.injected_block_until(cycle) if self._injector.enabled else 0
+            )
+            if blocked_until > cycle or not fifo.can_push_broadcast():
+                if (
+                    blocked_until > cycle
+                    and self.last_category is not CycleCategory.FIFO_FULL
+                ):
+                    self._injector.note_backpressure_block(fifo, cycle)
                 fifo.stats.full_stall_cycles += 1
                 self.stats.ops_executed[inst.opcode] -= 1
                 self._blocked_fifo = fifo
                 self._blocked_index = None  # needs space in every queue
+                self._blocked_until = blocked_until
                 return "wait_full"
             fifo.push_broadcast(self._value(frame, inst.value), cycle)
             self.stats.fifo_pushes += inst.channel.n_channels
