@@ -11,6 +11,8 @@ Usage::
                                            # frontier + JSON on disk
     python -m repro.harness faults ks      # resilience sweep: seeded fault
                                            # plans + watchdog diagnosis
+    python -m repro.harness rtl ks         # co-simulate the emitted
+                                           # Verilog against the oracle
 
 Every subcommand turns a simulator or compiler failure
 (:class:`~repro.errors.CgpaError`) into a one-line ``error:`` diagnosis
@@ -290,6 +292,78 @@ def faults_main(argv: list[str]) -> int:
     return 0
 
 
+def rtl_main(argv: list[str]) -> int:
+    """``python -m repro.harness rtl <kernel>`` — RTL co-simulation."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness rtl",
+        description="Execute one kernel's emitted Verilog worker modules "
+        "in the bundled two-state simulator (repro.vsim) and diff finish-"
+        "time live-outs, FIFO traffic and the final memory image, bit for "
+        "bit, against the interpreter oracle.  Exit status 1 on any "
+        "mismatch.",
+    )
+    parser.add_argument(
+        "kernel", choices=sorted(KERNELS_BY_NAME),
+        help="kernel to co-simulate",
+    )
+    parser.add_argument(
+        "--policy", default="p1", choices=["p1", "p2", "none"],
+        help="replication policy to compile with (default: p1)",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="parallel-stage worker count (default: 2; every worker "
+        "module is simulated gate-for-gate, so co-simulation favours "
+        "small fleets)",
+    )
+    parser.add_argument(
+        "--fifo-depth", type=_positive_int, default=16,
+        help="FIFO entries per channel (default: 16)",
+    )
+    parser.add_argument(
+        "--setup-args", type=_csv_positive_ints, default=None,
+        metavar="N,N,...",
+        help="workload-size arguments for the kernel's setup function "
+        "(default: a scaled-down smoke workload)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper-scale workload instead of the smoke scale "
+        "(slow: every clock edge is interpreted in Python)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=_positive_int, default=None,
+        help="per-round simulated-cycle budget (default: 500k)",
+    )
+    parser.add_argument(
+        "--emit-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="also write each round's Verilog modules plus oracle-"
+        "scripted testbenches into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    from ..vsim.cosim import run_rtl_cosim
+
+    spec = KERNELS_BY_NAME[args.kernel]
+    setup_args = args.setup_args
+    if setup_args is None and args.full:
+        setup_args = list(spec.setup_args)
+    kwargs = {}
+    if args.max_cycles is not None:
+        kwargs["max_cycles"] = args.max_cycles
+    report = run_rtl_cosim(
+        spec,
+        policy=args.policy,
+        n_workers=args.workers,
+        fifo_depth=args.fifo_depth,
+        setup_args=setup_args,
+        emit_dir=args.emit_dir,
+        **kwargs,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def trace_main(argv: list[str]) -> int:
     """``python -m repro.harness trace <kernel>`` — traced simulation."""
     parser = argparse.ArgumentParser(
@@ -395,6 +469,8 @@ def _dispatch(argv: list[str]) -> int:
         return dse_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "rtl":
+        return rtl_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",

@@ -1,9 +1,11 @@
 """IR interpretation: memory image, stepping interpreter, profiler."""
 
 from .interpreter import (
+    BROADCAST_INDEX,
     MALLOC_NAMES,
     ChannelIO,
     Interpreter,
+    RecordingChannelIO,
     Status,
     malloc_site_table,
 )
@@ -11,7 +13,8 @@ from .memory import HEAP_BASE, Allocation, Memory, round_f32, to_unsigned, wrap_
 from .profiler import Profile, profile_call
 
 __all__ = [
-    "Interpreter", "ChannelIO", "Status", "MALLOC_NAMES", "malloc_site_table",
+    "Interpreter", "ChannelIO", "RecordingChannelIO", "BROADCAST_INDEX",
+    "Status", "MALLOC_NAMES", "malloc_site_table",
     "Memory", "Allocation", "HEAP_BASE", "wrap_int", "to_unsigned", "round_f32",
     "Profile", "profile_call",
 ]

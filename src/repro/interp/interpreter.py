@@ -103,6 +103,78 @@ class ChannelIO:
     def pending(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    def queue_sizes(self) -> dict[tuple[int, int], int]:
+        """Tokens currently pending per ``(channel_id, index)`` queue."""
+        return {key: len(q) for key, q in self._queues.items() if q}
+
+    def queue_snapshot(self) -> dict[tuple[int, int], tuple]:
+        """Pending token values per non-empty ``(channel_id, index)`` queue."""
+        return {key: tuple(q) for key, q in self._queues.items() if q}
+
+
+#: Index recorded for a broadcast push (one log entry covers all queues).
+BROADCAST_INDEX = -1
+
+
+class _LoggingLiveouts(dict):
+    """Live-out store that records every write with its attribution tag."""
+
+    def __init__(self, owner: "RecordingChannelIO") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def __setitem__(self, key: int, value) -> None:
+        self._owner.liveout_log.append((self._owner.current_tag, key, value))
+        super().__setitem__(key, value)
+
+
+class RecordingChannelIO(ChannelIO):
+    """A :class:`ChannelIO` that logs channel traffic and live-out writes.
+
+    The RTL co-simulator (:mod:`repro.vsim.cosim`) replays an oracle run
+    and needs, per worker instance, the exact in-order sequence of tokens
+    produced/consumed and live-outs written.  ``current_tag`` identifies
+    the machine currently executing (the caller sets it around each
+    ``step()`` batch); every log entry carries that tag.
+
+    Logs:
+
+    * ``push_log`` — ``(tag, channel_id, index, value)``; a broadcast is
+      one entry with ``index == BROADCAST_INDEX``.
+    * ``pop_log`` — ``(tag, channel_id, index, value)``.
+    * ``liveout_log`` — ``(tag, liveout_id, value)``.
+
+    Indices are post-modulo, exactly what the channels were keyed by.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.current_tag: str = "parent"
+        self.push_log: list[tuple[str, int, int, int | float]] = []
+        self.pop_log: list[tuple[str, int, int, int | float]] = []
+        self.liveout_log: list[tuple[str, int, int | float]] = []
+        self.liveouts = _LoggingLiveouts(self)
+
+    def produce(self, channel, index: int, value) -> None:
+        super().produce(channel, index, value)
+        self.push_log.append(
+            (self.current_tag, channel.channel_id, index, value)
+        )
+
+    def produce_broadcast(self, channel, value) -> None:
+        super().produce_broadcast(channel, value)
+        self.push_log.append(
+            (self.current_tag, channel.channel_id, BROADCAST_INDEX, value)
+        )
+
+    def try_consume(self, channel, index: int):
+        ok, value = super().try_consume(channel, index)
+        if ok:
+            self.pop_log.append(
+                (self.current_tag, channel.channel_id, index, value)
+            )
+        return ok, value
+
 
 class _Frame:
     """One activation record."""

@@ -3,10 +3,15 @@
 from .resources import OpCost, cost_of, is_blocking, is_fifo_op, is_memory_op
 from .schedule import BlockSchedule, FunctionSchedule, schedule_function
 from .testbench import generate_testbench
-from .verilog import generate_verilog, support_library
+from .verilog import (
+    generate_verilog,
+    generate_verilog_hierarchy,
+    support_library,
+)
 
 __all__ = [
     "OpCost", "cost_of", "is_blocking", "is_memory_op", "is_fifo_op",
     "FunctionSchedule", "BlockSchedule", "schedule_function",
-    "generate_verilog", "support_library", "generate_testbench",
+    "generate_verilog", "generate_verilog_hierarchy", "support_library",
+    "generate_testbench",
 ]

@@ -107,7 +107,15 @@ def _schedule_block(block: BasicBlock) -> BlockSchedule:
             liveouts.append(inst)  # placed with the terminator (4)
             continue
         ready = 0
-        for op in inst.operands:
+        deps = list(inst.operands)
+        if inst.is_terminator:
+            # The branch edge latches the successors' phi registers from
+            # the incoming values' result registers, so those writes must
+            # have retired — the latch is a consumer of the incoming ops.
+            for succ in inst.successors():
+                for phi in succ.phis():
+                    deps.append(phi.incoming_for(block))
+        for op in deps:
             if isinstance(op, Instruction) and id(op) in local_defs:
                 if id(op) not in state_of:
                     continue  # forward ref (only via phis; handled above)

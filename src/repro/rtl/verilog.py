@@ -4,13 +4,25 @@ Emits one synthesizable-style module per worker function: a state-machine
 ``always`` block, per-instruction result registers, a memory-port
 handshake (request/ack, matching the cache crossbar of Fig. 2), and FIFO
 push/pop handshakes for the CGPA primitives.  Floating-point operations
-instantiate pipelined operator cores (declared in the support library of
-:func:`support_library`, the "hardware circuit library" of Section 3.4).
+call operator cores (``fp_add_64`` etc.) that synthesis maps to vendor
+IP; the co-simulator (:mod:`repro.vsim`) provides bit-exact models of
+them, so the emitted module is *executable*, not just printable.
 
-No Verilog simulator is available in this environment, so generated code
-is validated structurally (balanced blocks, all signals declared, ports
-consistent) and functionally through the cycle-accurate Python simulator,
-which executes exactly the same schedule.
+Protocol contract (checked by :mod:`repro.vsim.cosim` against the
+functional interpreter oracle):
+
+* memory — the module holds ``mem_req`` high with ``mem_addr``,
+  ``mem_we``/``mem_wdata`` and ``mem_size`` (access width in bytes)
+  stable until the environment pulses ``mem_ack``; read data is sampled
+  on the ack edge.
+* FIFO — registered valid/ready: a push or pop transfers on the clock
+  edge where both ``valid`` and ``ready`` are sampled high, after which
+  the module drops ``valid`` and advances.  ``*_sel`` packs
+  ``{channel_id[3:0], worker_index[3:0]}``.
+* call — submodules are instantiated; the caller pulses the callee's
+  ``start``, parks until ``finish``, and samples the 64-bit ``result``
+  port.  Callee memory ports are muxed onto the caller's port (only one
+  requester is ever active, because the caller parks during the call).
 """
 
 from __future__ import annotations
@@ -44,14 +56,18 @@ from ..ir.instructions import (
 )
 from ..ir.types import FloatType, Type
 from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .resources import is_blocking
 from .schedule import FunctionSchedule, schedule_function
 
 _BINOP_VERILOG = {
     "add": "+", "sub": "-", "mul": "*",
     "and": "&", "or": "|", "xor": "^",
-    "shl": "<<", "ashr": ">>>", "lshr": ">>",
-    "sdiv": "/", "srem": "%", "udiv": "/", "urem": "%",
+    "shl": "<<", "lshr": ">>",
+    "udiv": "/", "urem": "%",
 }
+#: Signed binops: both operands are wrapped in ``$signed`` so the
+#: Verilog expression uses signed division/remainder/arithmetic shift.
+_SIGNED_BINOP_VERILOG = {"ashr": ">>>", "sdiv": "/", "srem": "%"}
 _ICMP_VERILOG = {
     "eq": "==", "ne": "!=", "slt": "<", "sle": "<=", "sgt": ">", "sge": ">=",
     "ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
@@ -59,6 +75,11 @@ _ICMP_VERILOG = {
 _FP_CORES = {
     "fadd": "fp_add", "fsub": "fp_sub", "fmul": "fp_mul", "fdiv": "fp_div",
 }
+#: Cast opcodes that are pure wiring (latency 0 in the schedule): emitted
+#: as continuous assigns, not registers.
+_WIRE_CASTS = {"trunc", "zext", "sext", "bitcast", "ptrtoint", "inttoptr"}
+#: Static scratchpad base for ``alloca`` slots (outside the heap image).
+_SCRATCH_BASE = 0x00F0_0000
 
 
 def _width(type_: Type) -> int:
@@ -70,17 +91,16 @@ def _width(type_: Type) -> int:
 class _Names:
     """Stable Verilog identifiers per value."""
 
-    def __init__(self) -> None:
+    def __init__(self, reserved: set[str] | None = None) -> None:
         self._names: dict[int, str] = {}
-        self._used: set[str] = set()
+        self._used: set[str] = set(reserved or ())
         self._counter = 0
 
     def of(self, value: Value) -> str:
-        from ..ir.values import Argument
-
         if isinstance(value, Constant):
             if value.type.is_float:
-                return f"64'h{_float_bits(float(value.value)):016x}"
+                bits = 64 if value.type.bits == 64 else 32
+                return f"{bits}'h{_float_bits(float(value.value), bits):0{bits // 4}x}"
             width = _width(value.type)
             return f"{width}'d{int(value.value) & ((1 << width) - 1)}"
         if isinstance(value, GlobalVariable):
@@ -107,10 +127,23 @@ def _sanitize(name: str) -> str:
     return out
 
 
-def _float_bits(value: float) -> int:
+def _float_bits(value: float, bits: int = 64) -> int:
     import struct
 
+    if bits == 32:
+        return int.from_bytes(struct.pack("<f", value), "little")
     return int.from_bytes(struct.pack("<d", value), "little")
+
+
+#: Identifiers every module owns; user values must not shadow them.
+_RESERVED = {
+    "clk", "rst", "start", "finish", "state", "result",
+    "mem_req", "mem_we", "mem_addr", "mem_wdata", "mem_rdata", "mem_ack",
+    "mem_size", "mem_req_o", "mem_we_o", "mem_addr_o", "mem_wdata_o",
+    "mem_size_o",
+    "fifo_push_data", "fifo_push_sel", "fifo_push_valid", "fifo_push_ready",
+    "fifo_pop_data", "fifo_pop_sel", "fifo_pop_valid", "fifo_pop_ready",
+}
 
 
 def generate_verilog(
@@ -118,35 +151,64 @@ def generate_verilog(
 ) -> str:
     """Emit the Verilog module for one worker function."""
     schedule = schedule or schedule_function(function)
-    names = _Names()
+    aux = _collect_aux_signals(function)
+    names = _Names(reserved=set(_RESERVED))
+    ws_wires, ws_decls = _worker_select_wires(function, names)
     lines: list[str] = []
     emit = lines.append
 
     module_name = _sanitize(function.name)
     emit(f"// Generated by CGPA for @{function.name}")
     emit(f"module {module_name} (")
-    emit("    input  wire        clk,")
-    emit("    input  wire        rst,")
-    emit("    input  wire        start,")
-    emit("    output reg         finish,")
+
+    # With submodule instances the memory port is a mux of the caller's
+    # own request and the callees' — so it becomes a wire, not a reg.
+    mem_kind = "wire" if aux.callees else "reg "
+    ports: list[str] = [
+        "    input  wire        clk",
+        "    input  wire        rst",
+        "    input  wire        start",
+        "    output reg         finish",
+    ]
+    if not function.function_type.return_type.is_void:
+        ports.append("    output reg  [63:0] result")
     for arg in function.args:
-        emit(f"    input  wire [{_width(arg.type)-1}:0] arg_{_sanitize(arg.name)},")
-    emit("    // memory port (request/response crossbar)")
-    emit("    output reg         mem_req,")
-    emit("    output reg         mem_we,")
-    emit("    output reg  [31:0] mem_addr,")
-    emit("    output reg  [63:0] mem_wdata,")
-    emit("    input  wire [63:0] mem_rdata,")
-    emit("    input  wire        mem_ack,")
-    emit("    // FIFO buffers")
-    emit("    output reg  [31:0] fifo_push_data,")
-    emit("    output reg  [7:0]  fifo_push_sel,")
-    emit("    output reg         fifo_push_valid,")
-    emit("    input  wire        fifo_push_ready,")
-    emit("    input  wire [31:0] fifo_pop_data,")
-    emit("    output reg  [7:0]  fifo_pop_sel,")
-    emit("    output reg         fifo_pop_valid,")
-    emit("    input  wire        fifo_pop_ready")
+        ports.append(
+            f"    input  wire [{_width(arg.type)-1}:0] arg_{_sanitize(arg.name)}"
+        )
+    for lid in sorted(aux.liveout_inputs):
+        ports.append(f"    input  wire [63:0] liveout_{lid}")
+    ports += [
+        "    // memory port (request/response crossbar)",
+        f"    output {mem_kind}        mem_req",
+        f"    output {mem_kind}        mem_we",
+        f"    output {mem_kind} [31:0] mem_addr",
+        f"    output {mem_kind} [63:0] mem_wdata",
+        f"    output {mem_kind} [3:0]  mem_size",
+        "    input  wire [63:0] mem_rdata",
+        "    input  wire        mem_ack",
+        "    // FIFO buffers",
+        "    output reg  [63:0] fifo_push_data",
+        "    output reg  [7:0]  fifo_push_sel",
+        "    output reg         fifo_push_valid",
+        "    input  wire        fifo_push_ready",
+        "    input  wire [63:0] fifo_pop_data",
+        "    output reg  [7:0]  fifo_pop_sel",
+        "    output reg         fifo_pop_valid",
+        "    input  wire        fifo_pop_ready",
+    ]
+    for task_name in sorted(aux.fork_tasks):
+        ports.append(f"    output reg         task_start_{task_name}")
+    for loop_id in sorted(aux.join_loops):
+        ports.append(
+            f"    input  wire        all_finished_loop{loop_id}"
+        )
+    for i, port in enumerate(ports):
+        comma = "," if i + 1 < len(ports) else ""
+        if port.lstrip().startswith("//"):
+            emit(port)
+        else:
+            emit(port + comma)
     emit(");")
     emit("")
 
@@ -172,49 +234,99 @@ def generate_verilog(
     emit(f"    reg [{state_bits-1}:0] state;")
     emit("")
 
-    # Result registers.
+    for name in sorted(aux.globals_used):
+        emit(f"    parameter GLOBAL_{name} = 32'd0; // filled at integration")
+
+    # Result registers (registered ops) and cast wires (latency-0 ops).
+    wire_casts: list[Cast] = []
     for inst in function.instructions():
         if inst.type.is_void:
             continue
-        emit(f"    reg [{_width(inst.type)-1}:0] {names.of(inst)};")
+        if isinstance(inst, Cast) and inst.opcode in _WIRE_CASTS:
+            wire_casts.append(inst)
+            emit(f"    wire [{_width(inst.type)-1}:0] {names.of(inst)};")
+        else:
+            emit(f"    reg [{_width(inst.type)-1}:0] {names.of(inst)};")
     emit("")
 
-    # Auxiliary interface signals derived from a pre-scan of the body:
-    # live-out registers, submodule call handshakes, fork/join wiring,
-    # global-address parameters, and the worker-id fallback.
-    aux = _collect_aux_signals(function)
-    for name in sorted(aux.globals_used):
-        emit(f"    parameter GLOBAL_{name} = 32'd0; // filled at integration")
-    for lid in sorted(aux.liveout_ids):
+    for lid in sorted(aux.liveout_stores):
         emit(f"    reg [63:0] liveout_{lid};")
-    for callee in sorted(aux.callees):
-        emit(f"    reg         callee_start_{callee};")
-        emit(f"    wire        callee_finish_{callee};  // from submodule instance")
-        emit(f"    wire [63:0] callee_result_{callee};  // from submodule instance")
-    for task_name in sorted(aux.fork_tasks):
-        emit(f"    reg         task_start_{task_name};")
-    for loop_id in sorted(aux.join_loops):
-        emit(f"    wire        all_finished_loop{loop_id};  // AND of worker finish signals")
-    if aux.needs_worker_id_param:
-        emit("    // Sequential worker without a worker-id argument: fixed 0.")
-        emit("    localparam WORKER_ID = 8'd0;")
-    if aux.has_alloca:
-        emit("    reg [31:0] scratch_ptr;  // static scratchpad allocation")
-    if aux.globals_used or aux.liveout_ids or aux.callees or aux.fork_tasks \
-            or aux.join_loops or aux.needs_worker_id_param or aux.has_alloca:
+    for callee in aux.callees:
+        cname = _sanitize(callee.name)
+        emit(f"    reg         callee_start_{cname};")
+        emit(f"    reg         callee_issued_{cname};")
+        emit(f"    wire        callee_finish_{cname};")
+        if not callee.function_type.return_type.is_void:
+            emit(f"    wire [63:0] callee_result_{cname};")
+        for formal in callee.args:
+            emit(
+                f"    reg [{_width(formal.type)-1}:0] "
+                f"callee_arg_{cname}_{_sanitize(formal.name)};"
+            )
+        emit(f"    wire        callee_mem_req_{cname};")
+        emit(f"    wire        callee_mem_we_{cname};")
+        emit(f"    wire [31:0] callee_mem_addr_{cname};")
+        emit(f"    wire [63:0] callee_mem_wdata_{cname};")
+        emit(f"    wire [3:0]  callee_mem_size_{cname};")
+    if aux.callees:
+        if aux.has_own_mem_ops:
+            emit("    reg         mem_req_o;")
+            emit("    reg         mem_we_o;")
+            emit("    reg  [31:0] mem_addr_o;")
+            emit("    reg  [63:0] mem_wdata_o;")
+            emit("    reg  [3:0]  mem_size_o;")
         emit("")
+        _emit_mem_mux(emit, aux)
+    if aux.callees or aux.liveout_stores:
+        emit("")
+
+    # Latency-0 casts are pure wiring.
+    for inst in wire_casts:
+        emit(f"    assign {names.of(inst)} = {_cast_expr(inst, names)};")
+    allocas = [i for i in function.instructions() if isinstance(i, Alloca)]
+    for slot, inst in enumerate(allocas):
+        # Static scratchpad: one slot per alloca site, above the heap.
+        addr = _SCRATCH_BASE + 64 * slot
+        emit(f"    wire [31:0] {names.of(inst)};")
+        emit(f"    assign {names.of(inst)} = 32'd{addr}; // scratchpad slot")
+    # Dynamic worker selects are reduced mod n_channels, matching the
+    # `ws % n_channels` indexing of every software execution layer.
+    for line in ws_decls:
+        emit(line)
+    if wire_casts or allocas or ws_decls:
+        emit("")
+
+    # Submodule instances for direct callees.
+    for callee in aux.callees:
+        _emit_instance(emit, callee, _collect_aux_signals(callee))
+
+    ctx = _EmitCtx(
+        names=names, function=function, schedule=schedule,
+        state_ids=state_ids, state_bits=state_bits, aux=aux,
+        ws_wires=ws_wires,
+    )
 
     emit("    always @(posedge clk) begin")
     emit("        if (rst) begin")
     emit("            state <= STATE_IDLE;")
     emit("            finish <= 1'b0;")
-    emit("            mem_req <= 1'b0;")
+    if not aux.callees or aux.has_own_mem_ops:
+        # mem_req_o only exists when this module issues its own
+        # memory requests (with callees the port itself is a mux wire).
+        emit(f"            {ctx.mem('mem_req')} <= 1'b0;")
     emit("            fifo_push_valid <= 1'b0;")
     emit("            fifo_pop_valid <= 1'b0;")
+    for callee in aux.callees:
+        cname = _sanitize(callee.name)
+        emit(f"            callee_start_{cname} <= 1'b0;")
+        emit(f"            callee_issued_{cname} <= 1'b0;")
+    for task_name in sorted(aux.fork_tasks):
+        emit(f"            task_start_{task_name} <= 1'b0;")
     emit("        end else begin")
     emit("            case (state)")
     emit("                STATE_IDLE: begin")
     emit("                    if (start) begin")
+    emit("                        finish <= 1'b0;")
     entry_state = state_ids[(id(function.entry), 0)]
     emit(f"                        state <= {state_bits}'d{entry_state};")
     emit("                    end")
@@ -225,18 +337,7 @@ def generate_verilog(
         for local in range(bs.n_states):
             label = f"S_{_sanitize(block.short_name()).upper()}_{local}"
             emit(f"                {label}: begin")
-            ops = bs.ops_in_state(local)
-            advanced = False
-            for inst in ops:
-                advanced |= _emit_op(
-                    emit, inst, names, function, schedule, state_ids, state_bits
-                )
-            if not advanced:
-                # Plain data state: fall through to the next state.
-                nxt = _next_state_expr(
-                    block, local, bs.n_states, state_ids, state_bits
-                )
-                emit(f"                    state <= {nxt};")
+            _emit_state(emit, ctx, block, bs, local)
             emit("                end")
 
     emit("                default: state <= STATE_IDLE;")
@@ -248,206 +349,490 @@ def generate_verilog(
     return "\n".join(lines) + "\n"
 
 
+def generate_verilog_hierarchy(function: Function) -> str:
+    """Emit ``function``'s module plus every transitive callee module."""
+    ordered: list[Function] = []
+    seen: set[int] = set()
+
+    def visit(fn: Function) -> None:
+        if id(fn) in seen:
+            return
+        seen.add(id(fn))
+        ordered.append(fn)
+        for callee in _collect_aux_signals(fn).callees:
+            visit(callee)
+
+    visit(function)
+    return "\n".join(generate_verilog(fn) for fn in ordered)
+
+
 class _AuxSignals:
     """Signals a module needs beyond its datapath registers."""
 
     def __init__(self) -> None:
-        self.liveout_ids: set[int] = set()
-        self.callees: set[str] = set()
+        self.liveout_stores: set[int] = set()
+        self.liveout_retrieves: set[int] = set()
+        self.callees: _FunctionSet = _FunctionSet()
         self.fork_tasks: set[str] = set()
         self.join_loops: set[int] = set()
         self.globals_used: set[str] = set()
-        self.needs_worker_id_param = False
+        self.has_own_mem_ops = False
         self.has_alloca = False
+
+    @property
+    def liveout_inputs(self) -> set[int]:
+        """Live-outs this module reads but never writes: input ports."""
+        return self.liveout_retrieves - self.liveout_stores
+
+    @property
+    def liveout_ids(self) -> set[int]:
+        return self.liveout_stores | self.liveout_retrieves
+
+
+class _FunctionSet:
+    """Set of Function objects, deduplicated and sorted by name."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Function] = {}
+
+    def add(self, fn: Function) -> None:
+        self._by_name[fn.name] = fn
+
+    def __iter__(self):
+        return iter(
+            self._by_name[name] for name in sorted(self._by_name)
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
 
 
 def _collect_aux_signals(function: Function) -> _AuxSignals:
     aux = _AuxSignals()
-    has_worker_arg = any(a.name == "worker_id" for a in function.args)
     for inst in function.instructions():
-        if isinstance(inst, (StoreLiveout, RetrieveLiveout)):
-            aux.liveout_ids.add(inst.liveout_id)
+        if isinstance(inst, StoreLiveout):
+            aux.liveout_stores.add(inst.liveout_id)
+        elif isinstance(inst, RetrieveLiveout):
+            aux.liveout_retrieves.add(inst.liveout_id)
         elif isinstance(inst, Call) and not inst.callee.is_declaration:
-            aux.callees.add(_sanitize(inst.callee.name))
+            aux.callees.add(inst.callee)
         elif isinstance(inst, ParallelFork):
             aux.fork_tasks.add(_sanitize(inst.task.name))
         elif isinstance(inst, ParallelJoin):
             aux.join_loops.add(inst.loop_id)
-        elif isinstance(inst, Consume) and inst.worker_select is None:
-            if not has_worker_arg:
-                aux.needs_worker_id_param = True
+        elif isinstance(inst, (Load, Store)):
+            aux.has_own_mem_ops = True
         elif isinstance(inst, Alloca):
             aux.has_alloca = True
         for op in inst.operands:
             if isinstance(op, GlobalVariable):
                 aux.globals_used.add(_sanitize(op.name).upper())
+    # Callees' global parameters are forwarded through this module, so
+    # it must declare them too (transitively).
+    for callee in aux.callees:
+        aux.globals_used |= _collect_aux_signals(callee).globals_used
     return aux
 
 
-def _next_state_expr(
-    block: BasicBlock, local: int, n_states: int, state_ids, state_bits: int
-) -> str:
-    if local + 1 < n_states:
-        return f"{state_bits}'d{state_ids[(id(block), local + 1)]}"
-    # Last state without an explicit terminator action: stay (defensive).
-    return f"{state_bits}'d{state_ids[(id(block), local)]}"
+def _emit_mem_mux(emit, aux: _AuxSignals) -> None:
+    """Mux the callees' memory ports onto this module's port."""
+    callees = [_sanitize(c.name) for c in aux.callees]
+    req_terms = [f"callee_mem_req_{c}" for c in callees]
+    if aux.has_own_mem_ops:
+        req_terms.append("mem_req_o")
+    emit(f"    assign mem_req = {' | '.join(req_terms)};")
+    for field, own, width in (
+        ("we", "mem_we_o", ""), ("addr", "mem_addr_o", ""),
+        ("wdata", "mem_wdata_o", ""), ("size", "mem_size_o", ""),
+    ):
+        default = own if aux.has_own_mem_ops else (
+            "1'b0" if field == "we" else
+            "32'd0" if field == "addr" else
+            "64'd0" if field == "wdata" else "4'd0"
+        )
+        expr = default
+        for c in reversed(callees):
+            expr = f"callee_mem_req_{c} ? callee_mem_{field}_{c} : {expr}"
+        emit(f"    assign mem_{field} = {expr};")
 
 
-def _emit_op(
-    emit, inst: Instruction, names: _Names, function: Function,
-    schedule: FunctionSchedule, state_ids, state_bits: int,
-) -> bool:
-    """Emit one op inside its state; returns True if it wrote `state <=`."""
-    n = names.of
+def _emit_instance(emit, callee: Function, callee_aux: _AuxSignals) -> None:
+    cname = _sanitize(callee.name)
+    overrides = sorted(callee_aux.globals_used)
+    if overrides:
+        emit(f"    {cname} #(")
+        for i, g in enumerate(overrides):
+            comma = "," if i + 1 < len(overrides) else ""
+            emit(f"        .GLOBAL_{g}(GLOBAL_{g}){comma}")
+        emit(f"    ) u_{cname} (")
+    else:
+        emit(f"    {cname} u_{cname} (")
+    emit("        .clk(clk), .rst(rst),")
+    emit(f"        .start(callee_start_{cname}),")
+    emit(f"        .finish(callee_finish_{cname}),")
+    if not callee.function_type.return_type.is_void:
+        emit(f"        .result(callee_result_{cname}),")
+    for formal in callee.args:
+        fname = _sanitize(formal.name)
+        emit(f"        .arg_{fname}(callee_arg_{cname}_{fname}),")
+    emit(f"        .mem_req(callee_mem_req_{cname}),")
+    emit(f"        .mem_we(callee_mem_we_{cname}),")
+    emit(f"        .mem_addr(callee_mem_addr_{cname}),")
+    emit(f"        .mem_wdata(callee_mem_wdata_{cname}),")
+    emit(f"        .mem_size(callee_mem_size_{cname}),")
+    emit("        .mem_rdata(mem_rdata), .mem_ack(mem_ack),")
+    emit("        .fifo_push_data(), .fifo_push_sel(), .fifo_push_valid(),")
+    emit("        .fifo_push_ready(1'b0),")
+    emit("        .fifo_pop_data(64'd0), .fifo_pop_sel(), .fifo_pop_valid(),")
+    emit("        .fifo_pop_ready(1'b0)")
+    emit("    );")
+    emit("")
 
-    def pad(text: str) -> None:
-        emit("                    " + text)
 
+class _EmitCtx:
+    """Everything `_emit_state` needs, bundled."""
+
+    def __init__(
+        self, names, function, schedule, state_ids, state_bits, aux,
+        ws_wires=None,
+    ):
+        self.names = names
+        self.function = function
+        self.schedule = schedule
+        self.state_ids = state_ids
+        self.state_bits = state_bits
+        self.aux = aux
+        self.ws_wires = ws_wires or {}
+
+    def mem(self, base: str) -> str:
+        """Own-memory signal name (muxed through *_o with callees)."""
+        return base + "_o" if self.aux.callees else base
+
+
+def _emit_state(emit, ctx: _EmitCtx, block, bs, local: int) -> None:
+    """Emit the body of one FSM state.
+
+    The state's potentially-stalling op (memory, FIFO, call, join) — if
+    any — controls advancement: the jump to the next state (or the
+    terminator's actions, when the scheduler co-located it) only fires in
+    its success arm, so a stalled handshake replays the state without
+    advancing.  Pure data ops re-execute idempotently on replay.
+    """
+    ops = bs.ops_in_state(local)
+    terminator = next((op for op in ops if op.is_terminator), None)
+    blocker = next(
+        (op for op in ops
+         if is_blocking(op) or isinstance(op, (Call, ParallelJoin))),
+        None,
+    )
+
+    def pad(text: str, depth: int = 0) -> None:
+        emit("                    " + "    " * depth + text)
+
+    for inst in ops:
+        if inst is blocker or inst is terminator:
+            continue
+        _emit_data_op(pad, inst, ctx)
+
+    if terminator is not None:
+        advance = _terminator_actions(terminator, ctx)
+    else:
+        if local + 1 < bs.n_states:
+            nxt = ctx.state_ids[(id(block), local + 1)]
+        else:
+            nxt = ctx.state_ids[(id(block), local)]  # defensive stay
+        advance = [f"state <= {ctx.state_bits}'d{nxt};"]
+
+    if blocker is not None:
+        _emit_blocker(pad, blocker, ctx, advance)
+    else:
+        for line in advance:
+            pad(line)
+
+
+def _terminator_actions(inst: Instruction, ctx: _EmitCtx) -> list[str]:
+    """Lines performed when the block's terminator fires."""
+    n = ctx.names.of
+    if isinstance(inst, Jump):
+        lines = _phi_updates(inst.parent, inst.target, ctx)
+        target = ctx.state_ids[(id(inst.target), 0)]
+        lines.append(f"state <= {ctx.state_bits}'d{target};")
+        return lines
+    if isinstance(inst, CondBranch):
+        t_lines = _phi_updates(inst.parent, inst.if_true, ctx)
+        t_state = ctx.state_ids[(id(inst.if_true), 0)]
+        t_lines.append(f"state <= {ctx.state_bits}'d{t_state};")
+        f_lines = _phi_updates(inst.parent, inst.if_false, ctx)
+        f_state = ctx.state_ids[(id(inst.if_false), 0)]
+        f_lines.append(f"state <= {ctx.state_bits}'d{f_state};")
+        out = [f"if ({n(inst.cond)}) begin"]
+        out += ["    " + line for line in t_lines]
+        out.append("end else begin")
+        out += ["    " + line for line in f_lines]
+        out.append("end")
+        return out
+    if isinstance(inst, Ret):
+        lines = []
+        if inst.value is not None:
+            lines.append(f"result <= {n(inst.value)};")
+        lines.append("finish <= 1'b1;")
+        lines.append("state <= STATE_IDLE;")
+        return lines
+    raise CgpaError(f"verilog: unsupported terminator {inst.opcode}")
+
+
+def _phi_updates(source: BasicBlock, target: BasicBlock, ctx) -> list[str]:
+    """Nonblocking phi-register updates for the edge source -> target.
+
+    Nonblocking semantics make the updates a parallel assignment, so
+    mutually-referencing phis (a swap) resolve correctly.
+    """
+    n = ctx.names.of
+    return [
+        f"{n(phi)} <= {n(phi.incoming_for(source))};"
+        for phi in target.phis()
+    ]
+
+
+def _emit_blocker(pad, inst: Instruction, ctx: _EmitCtx, advance: list[str]):
+    """Emit a potentially-stalling op; ``advance`` runs on its success."""
+    n = ctx.names.of
+    W = _width(inst.type)
+
+    def success(extra: list[str]) -> None:
+        for line in extra + advance:
+            pad(line, 1)
+
+    if isinstance(inst, Load):
+        pad(f"{ctx.mem('mem_req')} <= 1'b1;")
+        pad(f"{ctx.mem('mem_we')} <= 1'b0;")
+        pad(f"{ctx.mem('mem_addr')} <= {n(inst.pointer)};")
+        pad(f"{ctx.mem('mem_size')} <= 4'd{inst.type.size()};")
+        pad("if (mem_ack) begin")
+        success([
+            f"{n(inst)} <= mem_rdata[{W-1}:0];",
+            f"{ctx.mem('mem_req')} <= 1'b0;",
+        ])
+        pad("end")
+        return
+    if isinstance(inst, Store):
+        pad(f"{ctx.mem('mem_req')} <= 1'b1;")
+        pad(f"{ctx.mem('mem_we')} <= 1'b1;")
+        pad(f"{ctx.mem('mem_addr')} <= {n(inst.pointer)};")
+        pad(f"{ctx.mem('mem_wdata')} <= {n(inst.value)};")
+        pad(f"{ctx.mem('mem_size')} <= 4'd{inst.value.type.size()};")
+        pad("if (mem_ack) begin")
+        success([f"{ctx.mem('mem_req')} <= 1'b0;"])
+        pad("end")
+        return
+    if isinstance(inst, (Produce, ProduceBroadcast)):
+        sel = _fifo_sel(inst, ctx)
+        pad("fifo_push_valid <= 1'b1;")
+        pad(f"fifo_push_sel <= {sel};"
+            + (" // broadcast" if isinstance(inst, ProduceBroadcast) else ""))
+        pad(f"fifo_push_data <= {n(inst.value)};")
+        pad("if (fifo_push_valid && fifo_push_ready) begin")
+        success(["fifo_push_valid <= 1'b0;"])
+        pad("end")
+        return
+    if isinstance(inst, Consume):
+        sel = _fifo_sel(inst, ctx)
+        pad("fifo_pop_valid <= 1'b1;")
+        pad(f"fifo_pop_sel <= {sel};")
+        pad("if (fifo_pop_valid && fifo_pop_ready) begin")
+        success([
+            f"{n(inst)} <= fifo_pop_data[{W-1}:0];",
+            "fifo_pop_valid <= 1'b0;",
+        ])
+        pad("end")
+        return
+    if isinstance(inst, ParallelJoin):
+        pad(f"if (all_finished_loop{inst.loop_id}) begin")
+        success([])
+        pad("end")
+        return
+    if isinstance(inst, Call):
+        cname = _sanitize(inst.callee.name)
+        pad(f"// call @{inst.callee.name} (submodule)")
+        pad(f"if (!callee_issued_{cname}) begin")
+        for formal, actual in zip(inst.callee.args, inst.args):
+            fname = _sanitize(formal.name)
+            pad(f"callee_arg_{cname}_{fname} <= {n(actual)};", 1)
+        pad(f"callee_start_{cname} <= 1'b1;", 1)
+        pad(f"callee_issued_{cname} <= 1'b1;", 1)
+        pad("end else begin")
+        pad(f"callee_start_{cname} <= 1'b0;", 1)
+        # !start guards against the callee's stale finish from a
+        # previous invocation (it clears finish one cycle after start).
+        pad(f"if (callee_finish_{cname} && !callee_start_{cname}) begin", 1)
+        extra = [f"callee_issued_{cname} <= 1'b0;"]
+        if not inst.type.is_void:
+            extra.append(f"{n(inst)} <= callee_result_{cname}[{W-1}:0];")
+        for line in extra + advance:
+            pad(line, 2)
+        pad("end", 1)
+        pad("end")
+        return
+    raise CgpaError(f"verilog: unsupported blocking op {inst.opcode}")
+
+
+def _worker_select_wires(function: Function, names: _Names):
+    """Per-site select wires reducing dynamic worker selects mod n_channels.
+
+    Every software execution layer indexes FIFO channels with
+    ``worker_select % n_channels``; the hardware mirrors that with a
+    dedicated ``assign ws_sel_N = value % n_channels`` wire per produce /
+    consume site whose select is not a compile-time constant.  Returns
+    ``({id(inst): wire_name}, decl_lines)``.
+    """
+    sites: list[tuple[Instruction, Value | str]] = []
+    for inst in function.instructions():
+        if isinstance(inst, ProduceBroadcast):
+            continue
+        if isinstance(inst, Produce):
+            ws = inst.worker_select
+        elif isinstance(inst, Consume):
+            ws = inst.worker_select
+            if ws is None:
+                if any(a.name == "worker_id" for a in function.args):
+                    ws = "arg_worker_id"
+                else:
+                    continue
+        else:
+            continue
+        if isinstance(ws, Constant):
+            continue
+        sites.append((inst, ws))
+    # Reserve all wire names before any datapath value is named, so an IR
+    # value that happens to be called ws_sel_0 cannot collide.
+    wire_names = [f"ws_sel_{i}" for i in range(len(sites))]
+    names._used.update(wire_names)
+    ws_wires: dict[int, str] = {}
+    decls: list[str] = []
+    for wname, (inst, ws) in zip(wire_names, sites):
+        ws_wires[id(inst)] = wname
+        if isinstance(ws, str):  # the worker_id port, 32-bit
+            operand, width = ws, 32
+        else:
+            operand, width = names.of(ws), _width(ws.type)
+        decls.append(f"    wire [{width-1}:0] {wname};")
+        decls.append(
+            f"    assign {wname} = {operand} % {width}'d{inst.channel.n_channels};"
+        )
+    return ws_wires, decls
+
+
+def _fifo_sel(inst: Instruction, ctx) -> str:
+    """The 8-bit FIFO select: {channel_id[3:0], worker_index[3:0]}."""
+    channel = inst.channel
+    if channel.channel_id > 15:
+        raise CgpaError(
+            f"verilog: channel id {channel.channel_id} exceeds 4 bits"
+        )
+    base = channel.channel_id << 4
+    if isinstance(inst, ProduceBroadcast):
+        return f"8'h{base | 0xF:02x} /* ch {channel.channel_id} */"
+    wire = ctx.ws_wires.get(id(inst))
+    if wire is not None:
+        return f"{{4'd{channel.channel_id}, {wire}[3:0]}}"
+    ws = inst.worker_select
+    if isinstance(ws, Constant):
+        return f"8'h{base | (int(ws.value) % channel.n_channels):02x}"
+    if ws is None:  # a consume on this stage's only channel
+        return f"8'h{base:02x}"
+    raise CgpaError("verilog: unexpected dynamic worker select")
+
+
+def _emit_data_op(pad, inst: Instruction, ctx: _EmitCtx) -> None:
+    """Emit a non-stalling op: an unconditional register update."""
+    n = ctx.names.of
     if isinstance(inst, Phi):
-        pad(f"// phi {n(inst)} resolved on block entry")
-        return False
+        pad(f"// phi {n(inst)} latched on the incoming branch edge")
+        return
+    if isinstance(inst, Cast) and inst.opcode in _WIRE_CASTS:
+        return  # continuous assign, emitted with the declarations
     if isinstance(inst, BinaryOp):
         if inst.opcode in _FP_CORES:
+            bits = 64 if inst.type.bits == 64 else 32
+            core = f"{_FP_CORES[inst.opcode]}_{bits}"
+            pad(f"{n(inst)} <= {core}({n(inst.lhs)}, {n(inst.rhs)});")
+        elif inst.opcode in _SIGNED_BINOP_VERILOG:
+            op = _SIGNED_BINOP_VERILOG[inst.opcode]
             pad(
-                f"// {_FP_CORES[inst.opcode]} core: {n(inst)} <= "
-                f"{_FP_CORES[inst.opcode]}({n(inst.lhs)}, {n(inst.rhs)});"
+                f"{n(inst)} <= $signed({n(inst.lhs)}) {op} "
+                f"$signed({n(inst.rhs)});"
             )
-            pad(f"{n(inst)} <= {n(inst.lhs)}; // placeholder datapath wire")
         else:
             op = _BINOP_VERILOG[inst.opcode]
             pad(f"{n(inst)} <= {n(inst.lhs)} {op} {n(inst.rhs)};")
-        return False
+        return
     if isinstance(inst, ICmp):
         op = _ICMP_VERILOG[inst.pred]
-        signed = "" if inst.pred.startswith("u") else "$signed"
-        pad(
-            f"{n(inst)} <= {signed}({n(inst.lhs)}) {op} {signed}({n(inst.rhs)});"
-        )
-        return False
+        # Pointers compare as unsigned addresses regardless of predicate.
+        signed = not inst.pred.startswith("u") and not inst.lhs.type.is_pointer
+        wrap = "$signed" if signed else ""
+        pad(f"{n(inst)} <= {wrap}({n(inst.lhs)}) {op} {wrap}({n(inst.rhs)});")
+        return
     if isinstance(inst, FCmp):
-        op = {"oeq": "==", "one": "!=", "olt": "<", "ole": "<=",
-              "ogt": ">", "oge": ">="}[inst.pred]
-        pad(f"// fp_cmp_{inst.pred} core; placeholder ordered compare:")
-        pad(f"{n(inst)} <= $signed({n(inst.lhs)}) {op} $signed({n(inst.rhs)});")
-        return False
+        bits = 64 if inst.lhs.type.bits == 64 else 32
+        pad(f"{n(inst)} <= fp_cmp_{inst.pred}_{bits}({n(inst.lhs)}, {n(inst.rhs)});")
+        return
     if isinstance(inst, GEP):
-        pad(f"{n(inst)} <= {_gep_expr(inst, names)};")
-        return False
+        pad(f"{n(inst)} <= {_gep_expr(inst, ctx.names)};")
+        return
     if isinstance(inst, Cast):
-        pad(f"{n(inst)} <= {n(inst.value)}; // {inst.opcode}")
-        return False
+        pad(f"{n(inst)} <= {_fp_cast_expr(inst, ctx.names)};")
+        return
     if isinstance(inst, Select):
         c, t, f = inst.operands
         pad(f"{n(inst)} <= {n(c)} ? {n(t)} : {n(f)};")
-        return False
-    if isinstance(inst, Load):
-        pad("mem_req <= 1'b1;")
-        pad("mem_we <= 1'b0;")
-        pad(f"mem_addr <= {n(inst.pointer)};")
-        pad("if (mem_ack) begin")
-        pad(f"    {n(inst)} <= mem_rdata[{_width(inst.type)-1}:0];")
-        pad("    mem_req <= 1'b0;")
-        _advance(pad, inst, state_ids, state_bits)
-        pad("end")
-        return True
-    if isinstance(inst, Store):
-        pad("mem_req <= 1'b1;")
-        pad("mem_we <= 1'b1;")
-        pad(f"mem_addr <= {n(inst.pointer)};")
-        pad(f"mem_wdata <= {n(inst.value)};")
-        pad("if (mem_ack) begin")
-        pad("    mem_req <= 1'b0;")
-        _advance(pad, inst, state_ids, state_bits)
-        pad("end")
-        return True
-    if isinstance(inst, Produce):
-        pad("fifo_push_valid <= 1'b1;")
-        pad(f"fifo_push_sel <= {{4'd{inst.channel.channel_id}, {n(inst.worker_select)}[3:0]}};")
-        pad(f"fifo_push_data <= {n(inst.value)};")
-        pad("if (fifo_push_ready) begin")
-        pad("    fifo_push_valid <= 1'b0;")
-        _advance(pad, inst, state_ids, state_bits)
-        pad("end")
-        return True
-    if isinstance(inst, ProduceBroadcast):
-        pad("fifo_push_valid <= 1'b1;")
-        pad(f"fifo_push_sel <= {{4'd{inst.channel.channel_id}, 4'hF}}; // broadcast")
-        pad(f"fifo_push_data <= {n(inst.value)};")
-        pad("if (fifo_push_ready) begin")
-        pad("    fifo_push_valid <= 1'b0;")
-        _advance(pad, inst, state_ids, state_bits)
-        pad("end")
-        return True
-    if isinstance(inst, Consume):
-        if inst.worker_select is not None:
-            sel = f"{names.of(inst.worker_select)}[3:0]"
-        elif any(a.name == "worker_id" for a in function.args):
-            sel = "arg_worker_id[3:0]"
-        else:
-            sel = "WORKER_ID[3:0]"
-        pad("fifo_pop_valid <= 1'b1;")
-        pad(f"fifo_pop_sel <= {{4'd{inst.channel.channel_id}, {sel}}};")
-        pad("if (fifo_pop_ready) begin")
-        pad(f"    {n(inst)} <= fifo_pop_data[{_width(inst.type)-1}:0];")
-        pad("    fifo_pop_valid <= 1'b0;")
-        _advance(pad, inst, state_ids, state_bits)
-        pad("end")
-        return True
+        return
     if isinstance(inst, StoreLiveout):
         pad(f"liveout_{inst.liveout_id} <= {n(inst.value)}; // latch live-out")
-        return False
+        return
     if isinstance(inst, RetrieveLiveout):
-        pad(f"{n(inst)} <= liveout_{inst.liveout_id};")
-        return False
+        pad(f"{n(inst)} <= liveout_{inst.liveout_id}[{_width(inst.type)-1}:0];")
+        return
     if isinstance(inst, ParallelFork):
-        pad(f"task_start_{_sanitize(inst.task.name)} <= 1'b1; // fork loop {inst.loop_id}")
-        return False
-    if isinstance(inst, ParallelJoin):
-        pad(f"if (all_finished_loop{inst.loop_id}) begin")
-        _advance(pad, inst, state_ids, state_bits)
-        pad("end")
-        return True
-    if isinstance(inst, Call):
-        pad(f"// call submodule {_sanitize(inst.callee.name)}")
-        pad(f"callee_start_{_sanitize(inst.callee.name)} <= 1'b1;")
-        pad(f"if (callee_finish_{_sanitize(inst.callee.name)}) begin")
-        if not inst.type.is_void:
-            pad(f"    {n(inst)} <= callee_result_{_sanitize(inst.callee.name)};")
-        _advance(pad, inst, state_ids, state_bits)
-        pad("end")
-        return True
-    if isinstance(inst, Jump):
-        target = state_ids[(id(inst.target), 0)]
-        pad(f"state <= {state_bits}'d{target};")
-        return True
-    if isinstance(inst, CondBranch):
-        t = state_ids[(id(inst.if_true), 0)]
-        f = state_ids[(id(inst.if_false), 0)]
-        pad(
-            f"state <= {names.of(inst.cond)} ? {state_bits}'d{t} : "
-            f"{state_bits}'d{f};"
-        )
-        return True
-    if isinstance(inst, Ret):
-        pad("finish <= 1'b1;")
-        pad("state <= STATE_IDLE;")
-        return True
+        pad(f"task_start_{_sanitize(inst.task.name)} <= 1'b1; "
+            f"// fork loop {inst.loop_id}")
+        return
     if isinstance(inst, Alloca):
-        pad(f"{names.of(inst)} <= scratch_ptr; // static scratchpad slot")
-        return False
+        return  # static scratchpad wire, emitted with the declarations
     raise CgpaError(f"verilog: unsupported opcode {inst.opcode}")
 
 
-def _advance(pad, inst: Instruction, state_ids, state_bits: int) -> None:
-    block = inst.parent
-    assert block is not None
-    # Next local state within the block, or handled by the terminator.
-    from .schedule import BlockSchedule  # avoid confusion; ids precomputed
+def _cast_expr(inst: Cast, names: _Names) -> str:
+    """Continuous-assign RHS for a latency-0 integer cast."""
+    src = names.of(inst.value)
+    sw = _width(inst.value.type)
+    dw = _width(inst.type)
+    op = inst.opcode
+    if op == "sext" and dw > sw:
+        return f"{{{{{dw - sw}{{{src}[{sw-1}]}}}}, {src}}}"
+    if dw < sw:
+        return f"{src}[{dw-1}:0]"  # trunc / inttoptr narrowing
+    return src  # zero-extend or same width
 
-    # The emitter calls _advance only for blocking ops, which the scheduler
-    # places in dedicated states before the terminator; the next state is
-    # always (block, local+1).
-    pad(f"    state <= state + {state_bits}'d1;")
+
+def _fp_cast_expr(inst: Cast, names: _Names) -> str:
+    """Operator-core call for a floating-point cast (latency >= 1)."""
+    src = names.of(inst.value)
+    op = inst.opcode
+    if op == "sitofp":
+        bits = 64 if inst.type.bits == 64 else 32
+        return f"fp_from_int_{bits}($signed({src}))"
+    if op == "fptosi":
+        bits = 64 if inst.value.type.bits == 64 else 32
+        return f"fp_to_int_{bits}({src})"
+    if op == "fpext":
+        return f"fp_ext_32_64({src})"
+    if op == "fptrunc":
+        return f"fp_trunc_64_32({src})"
+    raise CgpaError(f"verilog: unsupported cast {op}")
 
 
 def _gep_expr(inst: GEP, names: _Names) -> str:
@@ -473,8 +858,15 @@ def support_library() -> str:
     """The hardware circuit library backing the Table 1 primitives."""
     return """\
 // CGPA support library: FIFO buffer and primitive cores (Section 3.4).
+//
+// Floating-point operator cores are vendor IP at synthesis time; the
+// emitted modules call them as functions with bit-pattern arguments:
+//   fp_add_64/fp_sub_64/fp_mul_64/fp_div_64 (and _32 variants)
+//   fp_cmp_{oeq,one,olt,ole,ogt,oge}_{32,64}
+//   fp_from_int_{32,64}, fp_to_int_{32,64}, fp_ext_32_64, fp_trunc_64_32
+// The co-simulator (repro.vsim) provides bit-exact IEEE-754 models.
 module cgpa_fifo #(
-    parameter WIDTH = 32,
+    parameter WIDTH = 64,
     parameter DEPTH = 16,
     parameter CHANNELS = 4
 ) (

@@ -1,0 +1,204 @@
+"""AST node types for the emitter's Verilog subset.
+
+Plain dataclasses — the parser builds these, the elaborator compiles them
+into closures.  Every node keeps the source line it came from so lint and
+elaboration errors point back into the emitted text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Num(Expr):
+    """A literal: ``64'hdeadbeef``, ``4'd3``, ``17``.
+
+    ``width`` is ``None`` for unsized literals (treated as 32-bit).
+    """
+
+    value: int
+    width: int | None = None
+
+
+@dataclass
+class Ref(Expr):
+    """A plain identifier reference."""
+
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # ! ~ - +
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr = None  # type: ignore[assignment]
+    other: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Select(Expr):
+    """Constant part-select ``base[msb:lsb]`` or bit-select ``base[idx]``.
+
+    The emitter only produces constant selects; dynamic indexing is
+    outside the subset.
+    """
+
+    base: Expr
+    msb: Expr = None  # type: ignore[assignment]
+    lsb: Expr | None = None
+
+
+@dataclass
+class Concat(Expr):
+    parts: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Repeat(Expr):
+    """Replication ``{count{value}}`` (count must be constant)."""
+
+    count: Expr
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class SignedCast(Expr):
+    """``$signed(expr)`` — marks the operand signed, width unchanged."""
+
+    operand: Expr
+
+
+@dataclass
+class FuncCall(Expr):
+    """Call to an ``fp_*`` vendor-IP simulation model."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements (inside always blocks)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class NonBlocking(Stmt):
+    """``target <= rhs;`` — the only assignment form inside always."""
+
+    target: str
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: list[Stmt] = field(default_factory=list)
+    other: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class CaseItem:
+    labels: list[Expr]  # empty == default
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Case(Stmt):
+    subject: Expr
+    items: list[CaseItem] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Module-level declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class NetDecl:
+    """``input wire [31:0] name`` / ``reg [3:0] name`` / ``wire name``."""
+
+    direction: str | None  # "input" | "output" | None (internal)
+    kind: str  # "reg" | "wire"
+    msb: Expr | None  # None == 1-bit scalar
+    lsb: Expr | None
+    name: str
+    line: int = 0
+
+
+@dataclass
+class ParamDecl:
+    name: str
+    value: Expr
+    local: bool  # localparam vs parameter
+    line: int = 0
+
+
+@dataclass
+class ContAssign:
+    target: str
+    rhs: Expr
+    line: int = 0
+
+
+@dataclass
+class AlwaysBlock:
+    clock: str  # the posedge signal name
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Connection:
+    port: str
+    expr: Expr | None  # None == unconnected ``.port()``
+    line: int = 0
+
+
+@dataclass
+class Instance:
+    module: str
+    name: str
+    param_overrides: list[tuple[str, Expr]] = field(default_factory=list)
+    connections: list[Connection] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ModuleAst:
+    name: str
+    ports: list[NetDecl] = field(default_factory=list)
+    params: list[ParamDecl] = field(default_factory=list)
+    nets: list[NetDecl] = field(default_factory=list)
+    assigns: list[ContAssign] = field(default_factory=list)
+    always: list[AlwaysBlock] = field(default_factory=list)
+    instances: list[Instance] = field(default_factory=list)
+    line: int = 0

@@ -1,0 +1,816 @@
+"""Differential co-simulation: emitted Verilog vs the interpreter oracle.
+
+Closes the emit→execute loop for the RTL backend.  A kernel is compiled
+with the normal CGPA pipeline, then executed twice:
+
+1. **Oracle** — the transformed module runs under the functional
+   interpreter with a :class:`~repro.interp.RecordingChannelIO` and a
+   :class:`RecordingForkHandler`, which log, per fork/join *round* and
+   per worker instance, the memory image at round entry/exit, every
+   channel push/pop (in order, with values) and every live-out write.
+2. **RTL** — for each recorded round, every worker instance's emitted
+   Verilog module (plus its transitive callees) is elaborated in
+   :mod:`repro.vsim` and driven cycle by cycle against a shared byte
+   memory, bounded FIFO queues and a mirrored live-out register file —
+   the same environment the generated testbench models.
+
+The diff then asserts, bit for bit: final live-out registers, the final
+memory image, per-instance push/pop sequences (order, select and
+payload) and leftover queue tokens.  Cycle counts are *not* compared —
+vsim's environment serves memory in a fixed two-cycle handshake, not the
+cache model of :mod:`repro.hw`.
+
+Contract notes:
+
+* Each round's RTL run starts from the oracle's round-entry memory
+  image and queue state, so rounds are checked independently (a diff in
+  round *k* cannot corrupt round *k+1*'s verdict).
+* The RTL dataflow is closed: consumers pop the bit patterns producers
+  pushed, not oracle values — the oracle only provides the *expected*
+  sequences.
+* ``alloca`` scratchpads are unsupported in cosim (the interpreter
+  heap-allocates them); no kernel task uses one, and a task that does
+  raises before simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CgpaError
+from ..frontend import compile_c
+from ..interp import (
+    BROADCAST_INDEX,
+    Interpreter,
+    Memory,
+    RecordingChannelIO,
+    to_unsigned,
+)
+from ..ir import I32
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Produce, ProduceBroadcast, StoreLiveout
+from ..kernels import KARGS_GLOBAL, KERNELS_BY_NAME, KernelSpec
+from ..pipeline import ReplicationPolicy, cgpa_compile
+from ..pipeline.cosim import FunctionalForkHandler
+from ..pipeline.transform import TaskInfo
+from ..rtl.testbench import generate_testbench
+from ..rtl.verilog import (
+    _collect_aux_signals,
+    _float_bits,
+    _sanitize,
+    _width,
+    generate_verilog_hierarchy,
+)
+from ..transforms import optimize_module
+from .elaborate import elaborate
+from .errors import VsimRuntimeError
+from .sim import Simulation
+
+#: Scaled-down workloads for co-simulation: vsim executes every clock
+#: edge in Python, so paper-scale inputs (thousands of iterations) are
+#: needlessly slow for a bit-exactness check.  Keyed by kernel name.
+SMOKE_SETUP_ARGS: dict[str, list[int]] = {
+    "ks": [8, 8],
+    "em3d": [16, 8, 3],
+    "1D-Gaussblur": [4, 24],
+    "Hash-indexing": [48, 16],
+    "K-means": [12, 3, 4],
+}
+
+_BROADCAST_SEL = 0xF
+
+
+def value_to_bits(value: int | float, width: int) -> int:
+    """The bit pattern a ``width``-bit datapath register holds for ``value``."""
+    if isinstance(value, float):
+        return _float_bits(value, 64 if width == 64 else 32)
+    return to_unsigned(int(value), width)
+
+
+# --------------------------------------------------------------------------
+# Oracle recording
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class TaskRun:
+    """One forked worker instance within a round."""
+
+    tag: str
+    task: Function
+    args: list[int | float]
+    worker_id: int
+
+
+@dataclass
+class RoundRecord:
+    """Everything the oracle observed for one fork/join round."""
+
+    loop_id: int
+    runs: list[TaskRun]
+    start_mem: Memory
+    queue_start: dict[tuple[int, int], tuple]
+    liveouts_start: dict[int, int | float]
+    end_mem: Memory | None = None
+    queue_end: dict[tuple[int, int], tuple] = field(default_factory=dict)
+    push_log: list = field(default_factory=list)
+    pop_log: list = field(default_factory=list)
+    liveout_log: list = field(default_factory=list)
+
+
+class RecordingForkHandler(FunctionalForkHandler):
+    """A fork handler that records per-round, per-instance traces.
+
+    Requires its ``channel_io`` to be a :class:`RecordingChannelIO`;
+    each machine's ``step`` is wrapped to stamp the IO's ``current_tag``
+    so every logged push/pop/live-out is attributed to the instance that
+    performed it.
+    """
+
+    def __init__(self, module, memory, global_addresses, channel_io) -> None:
+        if not isinstance(channel_io, RecordingChannelIO):
+            raise CgpaError("RecordingForkHandler needs a RecordingChannelIO")
+        super().__init__(module, memory, global_addresses, channel_io)
+        self._run_meta: dict[int, list[TaskRun]] = {}
+        self.rounds: list[RoundRecord] = []
+
+    def fork(self, inst, livein_values) -> None:
+        super().fork(inst, livein_values)
+        machine = self._pending[inst.loop_id][-1]
+        info = inst.task.task_info
+        worker_id = inst.worker_id if inst.worker_id is not None else 0
+        args = list(livein_values)
+        if isinstance(info, TaskInfo) and info.is_parallel:
+            args.append(worker_id)
+        tag = f"{inst.task.name}@w{worker_id}"
+        io = self.channel_io
+        orig_step = machine.step
+
+        def tagged_step(_orig=orig_step, _tag=tag, _io=io):
+            _io.current_tag = _tag
+            return _orig()
+
+        machine.step = tagged_step
+        self._run_meta.setdefault(inst.loop_id, []).append(
+            TaskRun(tag, inst.task, args, worker_id)
+        )
+
+    def join(self, loop_id: int) -> None:
+        io = self.channel_io
+        record = RoundRecord(
+            loop_id=loop_id,
+            runs=self._run_meta.pop(loop_id, []),
+            start_mem=self.memory.clone(),
+            queue_start=io.queue_snapshot(),
+            liveouts_start=dict(io.liveouts),
+        )
+        marks = (len(io.push_log), len(io.pop_log), len(io.liveout_log))
+        try:
+            super().join(loop_id)
+        finally:
+            io.current_tag = "parent"
+        record.end_mem = self.memory.clone()
+        record.queue_end = io.queue_snapshot()
+        record.push_log = io.push_log[marks[0]:]
+        record.pop_log = io.pop_log[marks[1]:]
+        record.liveout_log = io.liveout_log[marks[2]:]
+        self.rounds.append(record)
+
+
+# --------------------------------------------------------------------------
+# RTL environment
+# --------------------------------------------------------------------------
+
+
+class _RoundShared:
+    """State shared by every RTL instance of one round."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        n_channels: dict[int, int],
+        fifo_depth: int,
+        liveouts: dict[int, int],
+    ) -> None:
+        self.memory = memory
+        self.n_channels = n_channels
+        self.fifo_depth = fifo_depth
+        self.liveouts = liveouts
+        self.queues: dict[tuple[int, int], list[int]] = {}
+
+    def queue(self, cid: int, idx: int) -> list[int]:
+        return self.queues.setdefault((cid, idx), [])
+
+
+class _RtlInstance:
+    """Drives one worker module against the shared round environment."""
+
+    def __init__(self, run: TaskRun, design, shared: _RoundShared) -> None:
+        self.run = run
+        self.tag = run.tag
+        self.aux = _collect_aux_signals(run.task)
+        self.shared = shared
+        self.sim = Simulation(design)
+        self.push_seen: list[tuple[int, int, int]] = []
+        self.pop_seen: list[tuple[int, int, int]] = []
+        self.finish_cycle: int | None = None
+        self._pending_mem: tuple[int, int, int] | None = None
+        self._pending_push: tuple[int, int, int] | None = None
+        self._pending_pop: tuple[int, int] | None = None
+        for arg, value in zip(run.task.args, run.args):
+            self.sim.poke(
+                f"arg_{_sanitize(arg.name)}",
+                value_to_bits(value, _width(arg.type)),
+            )
+        # The live-out register file is global in hardware; seed this
+        # module's slice (stores keep their own copy, inputs mirror).
+        for lid in self.aux.liveout_stores:
+            self.sim.poke(f"liveout_{lid}", shared.liveouts.get(lid, 0))
+        for loop_id in self.aux.join_loops:
+            self.sim.poke(f"all_finished_loop{loop_id}", 1)
+
+    @property
+    def finished(self) -> bool:
+        return self.sim.peek("finish") == 1
+
+    # --------------------------------------------------------- per cycle
+
+    def drive(self) -> None:
+        """Compute environment inputs from the committed module outputs."""
+        sim = self.sim
+        for lid in self.aux.liveout_inputs:
+            sim.poke(f"liveout_{lid}", self.shared.liveouts.get(lid, 0))
+        if self.finished:
+            return
+        self._drive_memory(sim)
+        self._drive_push(sim)
+        self._drive_pop(sim)
+
+    def _drive_memory(self, sim: Simulation) -> None:
+        if sim.peek("mem_ack"):
+            sim.poke("mem_ack", 0)
+            return
+        if not sim.peek("mem_req"):
+            return
+        addr = sim.peek("mem_addr")
+        size = sim.peek("mem_size")
+        if size == 0 or size > 8:
+            raise VsimRuntimeError(
+                f"{self.tag}: memory access of {size} bytes at 0x{addr:x}"
+            )
+        if sim.peek("mem_we"):
+            data = sim.peek("mem_wdata") & ((1 << (8 * size)) - 1)
+            self._pending_mem = (addr, size, data)
+        else:
+            raw = self.shared.memory.read_bytes(addr, size)
+            sim.poke("mem_rdata", int.from_bytes(raw, "little"))
+        sim.poke("mem_ack", 1)
+
+    def _drive_push(self, sim: Simulation) -> None:
+        if not sim.peek("fifo_push_valid"):
+            sim.poke("fifo_push_ready", 0)
+            return
+        sel = sim.peek("fifo_push_sel")
+        cid, idx = sel >> 4, sel & 0xF
+        nch = self._channel_width_check(cid, idx, "push")
+        depth = self.shared.fifo_depth
+        if idx == _BROADCAST_SEL:
+            ready = all(
+                len(self.shared.queue(cid, i)) < depth for i in range(nch)
+            )
+        else:
+            ready = len(self.shared.queue(cid, idx)) < depth
+        sim.poke("fifo_push_ready", int(ready))
+        if ready:
+            self._pending_push = (cid, idx, sim.peek("fifo_push_data"))
+
+    def _drive_pop(self, sim: Simulation) -> None:
+        if not sim.peek("fifo_pop_valid"):
+            sim.poke("fifo_pop_ready", 0)
+            return
+        sel = sim.peek("fifo_pop_sel")
+        cid, idx = sel >> 4, sel & 0xF
+        self._channel_width_check(cid, idx, "pop")
+        queue = self.shared.queue(cid, idx)
+        if queue:
+            sim.poke("fifo_pop_ready", 1)
+            sim.poke("fifo_pop_data", queue[0])
+            self._pending_pop = (cid, idx)
+        else:
+            sim.poke("fifo_pop_ready", 0)
+
+    def _channel_width_check(self, cid: int, idx: int, kind: str) -> int:
+        nch = self.shared.n_channels.get(cid)
+        if nch is None:
+            raise VsimRuntimeError(f"{self.tag}: {kind} to unknown channel {cid}")
+        if idx != _BROADCAST_SEL and idx >= nch:
+            raise VsimRuntimeError(
+                f"{self.tag}: {kind} index {idx} out of range for channel "
+                f"{cid} ({nch} queues)"
+            )
+        if idx == _BROADCAST_SEL and kind == "pop":
+            raise VsimRuntimeError(f"{self.tag}: pop with broadcast select")
+        return nch
+
+    def post_edge(self, cycle: int) -> None:
+        """Apply the transfers that happened on this clock edge."""
+        if self._pending_mem is not None:
+            addr, size, data = self._pending_mem
+            self.shared.memory.write_bytes(addr, data.to_bytes(size, "little"))
+            self._pending_mem = None
+        if self._pending_push is not None:
+            cid, idx, bits = self._pending_push
+            self.push_seen.append((cid, idx, bits))
+            if idx == _BROADCAST_SEL:
+                for i in range(self.shared.n_channels[cid]):
+                    self.shared.queue(cid, i).append(bits)
+            else:
+                self.shared.queue(cid, idx).append(bits)
+            self._pending_push = None
+        if self._pending_pop is not None:
+            cid, idx = self._pending_pop
+            bits = self.shared.queue(cid, idx).pop(0)
+            self.pop_seen.append((cid, idx, bits))
+            self._pending_pop = None
+        for lid in self.aux.liveout_stores:
+            self.shared.liveouts[lid] = self.sim.peek(f"liveout_{lid}")
+        if self.finished and self.finish_cycle is None:
+            self.finish_cycle = cycle
+
+
+# --------------------------------------------------------------------------
+# Reports
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LiveoutDiff:
+    liveout_id: int
+    oracle_bits: int
+    rtl_bits: int
+
+    @property
+    def ok(self) -> bool:
+        return self.oracle_bits == self.rtl_bits
+
+
+@dataclass
+class InstanceReport:
+    tag: str
+    cycles: int
+    liveouts: list[LiveoutDiff] = field(default_factory=list)
+    traffic_diff: str | None = None  # first push/pop sequence mismatch
+
+    @property
+    def ok(self) -> bool:
+        return self.traffic_diff is None and all(d.ok for d in self.liveouts)
+
+
+@dataclass
+class RoundReport:
+    index: int
+    loop_id: int
+    instances: list[InstanceReport] = field(default_factory=list)
+    memory_diff: str | None = None
+    queue_diff: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.memory_diff is None
+            and self.queue_diff is None
+            and all(i.ok for i in self.instances)
+        )
+
+
+@dataclass
+class CosimReport:
+    kernel: str
+    policy: str
+    n_workers: int
+    fifo_depth: int
+    setup_args: list[int]
+    oracle_result: int | float | None
+    rounds: list[RoundReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.rounds)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(
+            max((i.cycles for i in r.instances), default=0)
+            for r in self.rounds
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"RTL co-simulation: {self.kernel} "
+            f"(policy {self.policy}, {self.n_workers} workers, "
+            f"fifo depth {self.fifo_depth}, setup args {self.setup_args})",
+            f"oracle checksum: {self.oracle_result}",
+        ]
+        for rnd in self.rounds:
+            lines.append(
+                f"round {rnd.index} (loop {rnd.loop_id}): "
+                f"{len(rnd.instances)} worker module(s)"
+            )
+            lines.append("  instance                          cycles  liveouts  traffic")
+            for inst in rnd.instances:
+                lv = (
+                    "-" if not inst.liveouts else
+                    "ok" if all(d.ok for d in inst.liveouts) else "DIFF"
+                )
+                tr = "ok" if inst.traffic_diff is None else "DIFF"
+                lines.append(
+                    f"  {inst.tag:32s}  {inst.cycles:6d}  {lv:8s}  {tr}"
+                )
+                for diff in inst.liveouts:
+                    marker = "==" if diff.ok else "!="
+                    lines.append(
+                        f"      liveout[{diff.liveout_id}]  oracle "
+                        f"0x{diff.oracle_bits:016x} {marker} rtl "
+                        f"0x{diff.rtl_bits:016x}"
+                    )
+                if inst.traffic_diff:
+                    lines.append(f"      traffic: {inst.traffic_diff}")
+            lines.append(
+                f"  memory image: "
+                f"{'bit-identical' if rnd.memory_diff is None else rnd.memory_diff}"
+            )
+            if rnd.queue_diff:
+                lines.append(f"  leftover tokens: {rnd.queue_diff}")
+        verdict = (
+            "OK - liveouts and memory bit-identical to the interpreter oracle"
+            if self.ok else "MISMATCH - see diffs above"
+        )
+        lines.append(f"final: {verdict}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def run_rtl_cosim(
+    spec: KernelSpec | str,
+    policy: str = "p1",
+    n_workers: int = 2,
+    fifo_depth: int = 16,
+    setup_args: list[int] | None = None,
+    max_cycles: int = 500_000,
+    emit_dir=None,
+) -> CosimReport:
+    """Co-simulate every worker module of a kernel against the oracle.
+
+    ``setup_args`` overrides the kernel's workload size (defaults to the
+    :data:`SMOKE_SETUP_ARGS` scale-down, falling back to the spec's
+    paper-scale arguments).  ``emit_dir`` optionally writes each round's
+    Verilog modules plus oracle-scripted testbenches.
+    """
+    if isinstance(spec, str):
+        try:
+            spec = KERNELS_BY_NAME[spec]
+        except KeyError:
+            raise CgpaError(
+                f"unknown kernel {spec!r} (have: "
+                f"{', '.join(sorted(KERNELS_BY_NAME))})"
+            ) from None
+    try:
+        policy_enum = ReplicationPolicy[policy.upper()]
+    except KeyError:
+        raise CgpaError(f"unknown policy {policy!r} (p1/p2/none)") from None
+    if policy_enum is ReplicationPolicy.P2 and not spec.supports_p2:
+        raise CgpaError(f"kernel {spec.name} does not support P2")
+    if setup_args is None:
+        setup_args = SMOKE_SETUP_ARGS.get(spec.name, list(spec.setup_args))
+
+    module = compile_c(spec.source, spec.name)
+    optimize_module(module)
+    shapes = spec.shapes_for(module)
+    compiled = cgpa_compile(
+        module,
+        spec.accel_function,
+        shapes=shapes,
+        policy=policy_enum,
+        n_workers=n_workers,
+        fifo_depth=fifo_depth,
+    )
+
+    # ---------------------------------------------------------- oracle run
+    setup = Interpreter(compiled.module)
+    setup.call(spec.setup_function, list(setup_args))
+    kargs_addr = setup.global_addresses[KARGS_GLOBAL]
+    args = [
+        to_unsigned(setup.memory.load(kargs_addr + 4 * i, I32), 32)
+        for i in range(spec.n_kernel_args)
+    ]
+    memory, globals_ = setup.memory, setup.global_addresses
+
+    io = RecordingChannelIO()
+    parent = Interpreter(
+        compiled.module, memory, channel_io=io, global_addresses=globals_
+    )
+    handler = RecordingForkHandler(compiled.module, memory, globals_, io)
+    parent.fork_handler = handler
+    oracle_result = parent.call(spec.measure_entry, args)
+
+    # ------------------------------------------------------------ RTL runs
+    n_channels = {
+        ch.channel_id: ch.n_channels for ch in compiled.result.channels
+    }
+    chan_width = _channel_widths(compiled.module)
+    liveout_width = _liveout_widths(compiled.module)
+    # Emitted modules leave global addresses as parameters ("filled at
+    # integration"); fill them with the oracle's placement.
+    global_params = {
+        f"GLOBAL_{_sanitize(name).upper()}": addr
+        for name, addr in globals_.items()
+    }
+    designs: dict[int, object] = {}
+    report = CosimReport(
+        kernel=spec.name,
+        policy=policy_enum.name.lower(),
+        n_workers=n_workers,
+        fifo_depth=fifo_depth,
+        setup_args=list(setup_args),
+        oracle_result=oracle_result,
+    )
+    for index, record in enumerate(handler.rounds):
+        report.rounds.append(
+            _run_round(
+                index, record, designs, n_channels, chan_width,
+                liveout_width, fifo_depth, max_cycles, emit_dir,
+                global_params,
+            )
+        )
+    return report
+
+
+def _run_round(
+    index: int,
+    record: RoundRecord,
+    designs: dict,
+    n_channels: dict[int, int],
+    chan_width: dict[int, int],
+    liveout_width: dict[int, int],
+    fifo_depth: int,
+    max_cycles: int,
+    emit_dir,
+    global_params: dict[str, int],
+) -> RoundReport:
+    shared = _RoundShared(
+        memory=record.start_mem,
+        n_channels=n_channels,
+        fifo_depth=fifo_depth,
+        liveouts={
+            lid: value_to_bits(v, liveout_width.get(lid, 64))
+            for lid, v in record.liveouts_start.items()
+        },
+    )
+    for (cid, idx), values in record.queue_start.items():
+        shared.queue(cid, idx).extend(
+            value_to_bits(v, chan_width.get(cid, 64)) for v in values
+        )
+
+    instances = []
+    for run in record.runs:
+        key = id(run.task)
+        if key not in designs:
+            for inst in run.task.instructions():
+                if isinstance(inst, Alloca):
+                    raise VsimRuntimeError(
+                        f"{run.task.name}: alloca scratchpads are not "
+                        "supported in co-simulation"
+                    )
+            text = generate_verilog_hierarchy(run.task)
+            designs[key] = (text, elaborate(text, params=global_params))
+        instances.append(_RtlInstance(run, designs[key][1], shared))
+
+    if emit_dir is not None:
+        _emit_artifacts(emit_dir, index, record, designs, chan_width,
+                        liveout_width)
+
+    # Reset, then pulse start into every instance simultaneously.
+    for inst in instances:
+        inst.sim.poke("rst", 1)
+    for inst in instances:
+        inst.sim.step()
+    for inst in instances:
+        inst.sim.poke("rst", 0)
+        inst.sim.poke("start", 1)
+    for inst in instances:
+        inst.sim.step()
+    for inst in instances:
+        inst.sim.poke("start", 0)
+
+    cycle = 0
+    while any(not inst.finished for inst in instances):
+        if cycle >= max_cycles:
+            stuck = [i.tag for i in instances if not i.finished]
+            raise VsimRuntimeError(
+                f"round {index}: cycle budget ({max_cycles}) exceeded; "
+                f"unfinished: {', '.join(stuck)}"
+            )
+        for inst in instances:
+            inst.drive()
+        for inst in instances:
+            inst.sim.step()
+        cycle += 1
+        for inst in instances:
+            inst.post_edge(cycle)
+
+    round_report = RoundReport(index=index, loop_id=record.loop_id)
+    for inst in instances:
+        round_report.instances.append(
+            _instance_report(inst, record, chan_width, liveout_width)
+        )
+    round_report.memory_diff = _memory_diff(record.end_mem, shared.memory)
+    round_report.queue_diff = _queue_diff(record, shared, chan_width)
+    return round_report
+
+
+def _instance_report(
+    inst: _RtlInstance,
+    record: RoundRecord,
+    chan_width: dict[int, int],
+    liveout_width: dict[int, int],
+) -> InstanceReport:
+    report = InstanceReport(tag=inst.tag, cycles=inst.finish_cycle or 0)
+
+    expected_pushes = [
+        (cid, _BROADCAST_SEL if idx == BROADCAST_INDEX else idx,
+         value_to_bits(v, chan_width.get(cid, 64)))
+        for tag, cid, idx, v in record.push_log
+        if tag == inst.tag
+    ]
+    expected_pops = [
+        (cid, idx, value_to_bits(v, chan_width.get(cid, 64)))
+        for tag, cid, idx, v in record.pop_log
+        if tag == inst.tag
+    ]
+    report.traffic_diff = _sequence_diff(
+        "push", expected_pushes, inst.push_seen
+    ) or _sequence_diff("pop", expected_pops, inst.pop_seen)
+
+    expected_liveouts: dict[int, int | float] = {}
+    for tag, lid, value in record.liveout_log:
+        if tag == inst.tag:
+            expected_liveouts[lid] = value
+    for lid in sorted(expected_liveouts):
+        report.liveouts.append(
+            LiveoutDiff(
+                liveout_id=lid,
+                oracle_bits=value_to_bits(
+                    expected_liveouts[lid], liveout_width.get(lid, 64)
+                ),
+                rtl_bits=inst.sim.peek(f"liveout_{lid}"),
+            )
+        )
+    return report
+
+
+def _sequence_diff(kind: str, expected: list, actual: list) -> str | None:
+    for i, (exp, act) in enumerate(zip(expected, actual)):
+        if exp != act:
+            return (
+                f"{kind} #{i}: oracle (ch {exp[0]}, idx {exp[1]}, "
+                f"0x{exp[2]:016x}) != rtl (ch {act[0]}, idx {act[1]}, "
+                f"0x{act[2]:016x})"
+            )
+    if len(expected) != len(actual):
+        return (
+            f"{kind} count: oracle {len(expected)} != rtl {len(actual)}"
+        )
+    return None
+
+
+def _memory_diff(oracle: Memory, rtl: Memory) -> str | None:
+    a, b = oracle.snapshot(), rtl.snapshot()
+    if a == b:
+        return None
+    if len(a) != len(b):
+        return f"image sizes differ (oracle {len(a)}, rtl {len(b)} bytes)"
+    first = next(i for i in range(len(a)) if a[i] != b[i])
+    count = sum(1 for x, y in zip(a, b) if x != y)
+    return (
+        f"{count} byte(s) differ, first at 0x{first:x} "
+        f"(oracle 0x{a[first]:02x}, rtl 0x{b[first]:02x})"
+    )
+
+
+def _queue_diff(
+    record: RoundRecord, shared: _RoundShared, chan_width: dict[int, int]
+) -> str | None:
+    oracle = {
+        key: tuple(
+            value_to_bits(v, chan_width.get(key[0], 64)) for v in values
+        )
+        for key, values in record.queue_end.items()
+    }
+    rtl = {
+        key: tuple(values) for key, values in shared.queues.items() if values
+    }
+    if oracle == rtl:
+        return None
+    keys = sorted(set(oracle) | set(rtl))
+    for key in keys:
+        if oracle.get(key, ()) != rtl.get(key, ()):
+            return (
+                f"channel {key[0]} idx {key[1]}: oracle leaves "
+                f"{len(oracle.get(key, ()))} token(s), rtl "
+                f"{len(rtl.get(key, ()))}"
+            )
+    return "queue states differ"
+
+
+def _channel_widths(module) -> dict[int, int]:
+    widths: dict[int, int] = {}
+    for function in module.functions.values():
+        for inst in function.instructions():
+            if isinstance(inst, (Produce, ProduceBroadcast)):
+                widths.setdefault(
+                    inst.channel.channel_id, _width(inst.value.type)
+                )
+    return widths
+
+
+def _liveout_widths(module) -> dict[int, int]:
+    widths: dict[int, int] = {}
+    for function in module.functions.values():
+        for inst in function.instructions():
+            if isinstance(inst, StoreLiveout):
+                widths.setdefault(inst.liveout_id, _width(inst.value.type))
+    return widths
+
+
+# --------------------------------------------------------------------------
+# Testbench artifacts
+# --------------------------------------------------------------------------
+
+
+def testbench_scripts(
+    record: RoundRecord,
+    run: TaskRun,
+    chan_width: dict[int, int],
+    liveout_width: dict[int, int],
+):
+    """Oracle-derived testbench inputs for one instance of a round.
+
+    Returns ``(arg_values, expected_liveouts, pop_script,
+    expected_pushes)`` in the formats
+    :func:`repro.rtl.testbench.generate_testbench` accepts.
+    """
+    arg_values = [
+        value_to_bits(v, _width(a.type))
+        for a, v in zip(run.task.args, run.args)
+    ]
+    pop_script = [
+        ((cid << 4) | idx, value_to_bits(v, chan_width.get(cid, 64)))
+        for tag, cid, idx, v in record.pop_log
+        if tag == run.tag
+    ]
+    expected_pushes = [
+        (
+            (cid << 4)
+            | (_BROADCAST_SEL if idx == BROADCAST_INDEX else idx),
+            value_to_bits(v, chan_width.get(cid, 64)),
+        )
+        for tag, cid, idx, v in record.push_log
+        if tag == run.tag
+    ]
+    expected_liveouts: dict[int, int] = {}
+    for tag, lid, value in record.liveout_log:
+        if tag == run.tag:
+            expected_liveouts[lid] = value_to_bits(
+                value, liveout_width.get(lid, 64)
+            )
+    return arg_values, expected_liveouts, pop_script, expected_pushes
+
+
+def _emit_artifacts(
+    emit_dir, index: int, record: RoundRecord, designs, chan_width,
+    liveout_width,
+) -> None:
+    import os
+
+    os.makedirs(emit_dir, exist_ok=True)
+    for run in record.runs:
+        text = designs[id(run.task)][0]
+        base = f"round{index}_{run.tag.replace('@', '_')}"
+        with open(os.path.join(emit_dir, base + ".v"), "w") as fh:
+            fh.write(text)
+        arg_values, liveouts, pops, pushes = testbench_scripts(
+            record, run, chan_width, liveout_width
+        )
+        bench = generate_testbench(
+            run.task,
+            arg_values=arg_values,
+            expected_liveouts=liveouts,
+            pop_script=pops,
+            expected_pushes=pushes,
+        )
+        with open(os.path.join(emit_dir, base + "_tb.v"), "w") as fh:
+            fh.write(bench)

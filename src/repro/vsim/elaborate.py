@@ -1,0 +1,592 @@
+"""Elaboration: flatten a module hierarchy into an executable design.
+
+Takes parsed module ASTs and produces a :class:`Design`:
+
+* every net of every instance becomes a flat two-state signal named with
+  its dotted instance path (``u_core.mem_req``),
+* parameters are substituted with their (override-resolved) constant
+  values,
+* continuous assigns — including the implicit ones created by instance
+  port connections — are compiled to closures and topologically sorted,
+* each ``always @(posedge ...)`` block is compiled to a closure that
+  reads pre-edge state and writes a nonblocking-assignment buffer.
+
+Width semantics follow self-determined Verilog sizing for the subset the
+emitter produces: binary arithmetic/bitwise results take the wider
+operand width, comparisons are 1 bit, shifts take the left operand's
+width, concatenations/part-selects are unsigned, and ``$signed`` marks
+an operand for signed extension/comparison/division.  Assignment-context
+widening (extending operands to the LHS width *before* an operation) is
+deliberately not modelled; the emitter never relies on it, and
+:mod:`repro.vsim.lint` rejects modules that would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .ast_nodes import (
+    AlwaysBlock,
+    Binary,
+    Case,
+    Concat,
+    Expr,
+    FuncCall,
+    If,
+    Instance,
+    ModuleAst,
+    NetDecl,
+    NonBlocking,
+    Num,
+    Ref,
+    Repeat,
+    Select,
+    SignedCast,
+    Stmt,
+    Ternary,
+    Unary,
+)
+from .errors import VsimElabError
+from .intrinsics import INTRINSICS
+from .parser import parse_verilog
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _to_signed(value: int, width: int) -> int:
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def _extend(value: int, from_width: int, to_width: int, signed: bool) -> int:
+    if to_width <= from_width:
+        return value
+    if signed:
+        return _to_signed(value, from_width) & _mask(to_width)
+    return value
+
+
+@dataclass(frozen=True)
+class CExpr:
+    """A compiled expression: evaluator + static type facts."""
+
+    fn: Callable[[dict], int]
+    width: int
+    signed: bool
+    deps: frozenset[str]
+
+
+@dataclass
+class Signal:
+    name: str
+    width: int
+    kind: str  # "reg" | "wire"
+    direction: str | None = None  # input/output for ports, None internal
+
+
+@dataclass
+class Design:
+    """A flattened, compiled module hierarchy ready to simulate."""
+
+    top: str
+    signals: dict[str, Signal] = field(default_factory=dict)
+    #: (target, expr) in topological order.
+    comb: list[tuple[str, CExpr]] = field(default_factory=list)
+    #: one closure per always block: fn(state, nba_buffer)
+    seq: list[Callable[[dict, dict], None]] = field(default_factory=list)
+
+
+def elaborate(
+    source: str,
+    top: str | None = None,
+    params: dict[str, int] | None = None,
+) -> Design:
+    """Parse ``source`` and flatten the ``top`` module (default: first)."""
+    modules = parse_verilog(source)
+    if not modules:
+        raise VsimElabError("no modules in source")
+    by_name = {m.name: m for m in modules}
+    top_mod = by_name[top] if top else modules[0]
+    if top and top not in by_name:
+        raise VsimElabError(f"unknown top module {top!r}")
+    design = Design(top=top_mod.name)
+    raw_comb: list[tuple[str, CExpr, int]] = []
+    _instantiate(top_mod, "", params or {}, by_name, design, raw_comb)
+    design.comb = _topo_sort(raw_comb, design)
+    return design
+
+
+# --------------------------------------------------------------------------
+# Instance flattening
+# --------------------------------------------------------------------------
+
+
+class _Scope:
+    """Name resolution for one module instance."""
+
+    def __init__(self, module: ModuleAst, prefix: str) -> None:
+        self.module = module
+        self.prefix = prefix
+        self.params: dict[str, tuple[int, int]] = {}  # name -> (value, width)
+        self.locals: dict[str, Signal] = {}  # local name -> signal
+
+    def resolve(self, name: str, line: int) -> Signal:
+        sig = self.locals.get(name)
+        if sig is None:
+            raise VsimElabError(
+                f"{self.module.name} line {line}: undeclared identifier {name!r}"
+            )
+        return sig
+
+
+def _instantiate(
+    mod: ModuleAst,
+    prefix: str,
+    overrides: dict[str, int],
+    by_name: dict[str, ModuleAst],
+    design: Design,
+    raw_comb: list[tuple[str, CExpr, int]],
+    parent_scope: _Scope | None = None,
+    connections: list | None = None,
+) -> _Scope:
+    scope = _Scope(mod, prefix)
+
+    for pdecl in mod.params:
+        value = _const_eval(pdecl.value, scope, pdecl.line)
+        width = pdecl.value.width if isinstance(pdecl.value, Num) else None
+        if not pdecl.local and pdecl.name in overrides:
+            value = overrides[pdecl.name]
+        scope.params[pdecl.name] = (value, width or 32)
+
+    for decl in list(mod.ports) + list(mod.nets):
+        width = _decl_width(decl, scope)
+        gname = prefix + decl.name
+        if gname in design.signals:
+            raise VsimElabError(
+                f"{mod.name} line {decl.line}: duplicate declaration "
+                f"of {decl.name!r}"
+            )
+        sig = Signal(gname, width, decl.kind, decl.direction)
+        design.signals[gname] = sig
+        scope.locals[decl.name] = sig
+
+    # Port connections become implicit continuous assigns.
+    for conn in connections or []:
+        port = next((p for p in mod.ports if p.name == conn.port), None)
+        if port is None:
+            raise VsimElabError(
+                f"{mod.name}: instance connects unknown port {conn.port!r}"
+            )
+        if conn.expr is None:
+            continue  # unconnected: inputs read 0, outputs dangle
+        if port.direction == "input":
+            cexpr = _compile_expr(conn.expr, parent_scope)
+            raw_comb.append((prefix + port.name, cexpr, conn.line))
+        else:
+            if not isinstance(conn.expr, Ref):
+                raise VsimElabError(
+                    f"{mod.name}: output port {conn.port!r} must connect "
+                    "to a plain net"
+                )
+            target = parent_scope.resolve(conn.expr.name, conn.line)
+            cexpr = _compile_expr(Ref(port.name, line=conn.line), scope)
+            raw_comb.append((target.name, cexpr, conn.line))
+
+    for assign in mod.assigns:
+        target = scope.resolve(assign.target, assign.line)
+        raw_comb.append(
+            (target.name, _compile_expr(assign.rhs, scope), assign.line)
+        )
+
+    for block in mod.always:
+        design.seq.append(_compile_always(block, scope))
+
+    for inst in mod.instances:
+        child = by_name.get(inst.module)
+        if child is None:
+            raise VsimElabError(
+                f"{mod.name}: instance of unknown module {inst.module!r}"
+            )
+        child_overrides = {
+            pname: _const_eval(pexpr, scope, inst.line)
+            for pname, pexpr in inst.param_overrides
+        }
+        _instantiate(
+            child,
+            prefix + inst.name + ".",
+            child_overrides,
+            by_name,
+            design,
+            raw_comb,
+            parent_scope=scope,
+            connections=inst.connections,
+        )
+    return scope
+
+
+def _decl_width(decl: NetDecl, scope: _Scope) -> int:
+    if decl.msb is None:
+        return 1
+    msb = _const_eval(decl.msb, scope, decl.line)
+    lsb = _const_eval(decl.lsb, scope, decl.line)
+    if msb < lsb:
+        raise VsimElabError(
+            f"{scope.module.name} line {decl.line}: reversed range on "
+            f"{decl.name!r}"
+        )
+    return msb - lsb + 1
+
+
+def _topo_sort(
+    raw: list[tuple[str, CExpr, int]], design: Design
+) -> list[tuple[str, CExpr]]:
+    """Order continuous assigns so dependencies evaluate first."""
+    drivers: dict[str, tuple[str, CExpr, int]] = {}
+    for target, cexpr, line in raw:
+        if target in drivers:
+            raise VsimElabError(f"multiply-driven net {target!r}")
+        sig = design.signals[target]
+        if sig.kind == "reg" and sig.direction is None:
+            raise VsimElabError(
+                f"continuous assignment to reg {target!r}"
+            )
+        drivers[target] = (target, cexpr, line)
+
+    order: list[tuple[str, CExpr]] = []
+    visiting: set[str] = set()
+    done: set[str] = set()
+
+    def visit(target: str) -> None:
+        if target in done:
+            return
+        if target in visiting:
+            raise VsimElabError(f"combinational loop through {target!r}")
+        visiting.add(target)
+        _, cexpr, _ = drivers[target]
+        for dep in cexpr.deps:
+            if dep in drivers:
+                visit(dep)
+        visiting.discard(target)
+        done.add(target)
+        order.append((target, cexpr))
+
+    for target in drivers:
+        visit(target)
+    return order
+
+
+# --------------------------------------------------------------------------
+# Expression compilation
+# --------------------------------------------------------------------------
+
+
+def _const_eval(expr: Expr, scope: _Scope, line: int) -> int:
+    cexpr = _compile_expr(expr, scope)
+    if cexpr.deps:
+        raise VsimElabError(
+            f"{scope.module.name} line {line}: expression must be constant"
+        )
+    return cexpr.fn({})
+
+
+def _compile_expr(expr: Expr, scope: _Scope) -> CExpr:
+    if isinstance(expr, Num):
+        width = expr.width or 32
+        value = expr.value & _mask(width)
+        return CExpr(lambda s: value, width, False, frozenset())
+
+    if isinstance(expr, Ref):
+        if expr.name in scope.params:
+            value, width = scope.params[expr.name]
+            masked = value & _mask(width)
+            return CExpr(lambda s: masked, width, False, frozenset())
+        sig = scope.resolve(expr.name, expr.line)
+        name = sig.name
+        return CExpr(
+            lambda s: s[name], sig.width, False, frozenset((name,))
+        )
+
+    if isinstance(expr, SignedCast):
+        inner = _compile_expr(expr.operand, scope)
+        return CExpr(inner.fn, inner.width, True, inner.deps)
+
+    if isinstance(expr, Unary):
+        return _compile_unary(expr, scope)
+
+    if isinstance(expr, Binary):
+        return _compile_binary(expr, scope)
+
+    if isinstance(expr, Ternary):
+        cond = _compile_expr(expr.cond, scope)
+        then = _compile_expr(expr.then, scope)
+        other = _compile_expr(expr.other, scope)
+        width = max(then.width, other.width)
+        tf, of = then.fn, other.fn
+        tw, ow = then.width, other.width
+        ts, os_ = then.signed, other.signed
+        cf = cond.fn
+
+        def fn(s):
+            if cf(s):
+                return _extend(tf(s), tw, width, ts)
+            return _extend(of(s), ow, width, os_)
+
+        return CExpr(
+            fn, width, then.signed and other.signed,
+            cond.deps | then.deps | other.deps,
+        )
+
+    if isinstance(expr, Select):
+        base = _compile_expr(expr.base, scope)
+        msb = _const_eval(expr.msb, scope, expr.line)
+        lsb = msb if expr.lsb is None else _const_eval(expr.lsb, scope, expr.line)
+        if msb < lsb or msb >= base.width:
+            raise VsimElabError(
+                f"{scope.module.name} line {expr.line}: part-select "
+                f"[{msb}:{lsb}] out of range for width {base.width}"
+            )
+        width = msb - lsb + 1
+        bf = base.fn
+        sel_mask = _mask(width)
+        return CExpr(
+            lambda s: (bf(s) >> lsb) & sel_mask, width, False, base.deps
+        )
+
+    if isinstance(expr, Concat):
+        parts = [_compile_expr(p, scope) for p in expr.parts]
+        width = sum(p.width for p in parts)
+        deps = frozenset().union(*(p.deps for p in parts))
+
+        def fn(s):
+            out = 0
+            for part in parts:
+                out = (out << part.width) | part.fn(s)
+            return out
+
+        return CExpr(fn, width, False, deps)
+
+    if isinstance(expr, Repeat):
+        count = _const_eval(expr.count, scope, expr.line)
+        value = _compile_expr(expr.value, scope)
+        width = count * value.width
+        vf, vw = value.fn, value.width
+
+        def fn(s):
+            v = vf(s)
+            out = 0
+            for _ in range(count):
+                out = (out << vw) | v
+            return out
+
+        return CExpr(fn, width, False, value.deps)
+
+    if isinstance(expr, FuncCall):
+        entry = INTRINSICS.get(expr.name)
+        if entry is None:
+            raise VsimElabError(
+                f"{scope.module.name} line {expr.line}: unknown operator "
+                f"core {expr.name!r}"
+            )
+        core, width = entry
+        args = [_compile_expr(a, scope) for a in expr.args]
+        deps = frozenset().union(*(a.deps for a in args)) if args else frozenset()
+
+        def fn(s):
+            values = [
+                _to_signed(a.fn(s), a.width) if a.signed else a.fn(s)
+                for a in args
+            ]
+            return core(*values) & _mask(width)
+
+        return CExpr(fn, width, False, deps)
+
+    raise VsimElabError(f"unsupported expression node {type(expr).__name__}")
+
+
+def _compile_unary(expr: Unary, scope: _Scope) -> CExpr:
+    inner = _compile_expr(expr.operand, scope)
+    f, w = inner.fn, inner.width
+    if expr.op == "!":
+        return CExpr(lambda s: int(f(s) == 0), 1, False, inner.deps)
+    if expr.op == "~":
+        m = _mask(w)
+        return CExpr(lambda s: ~f(s) & m, w, inner.signed, inner.deps)
+    if expr.op == "-":
+        m = _mask(w)
+        return CExpr(lambda s: -f(s) & m, w, inner.signed, inner.deps)
+    if expr.op == "+":
+        return inner
+    raise VsimElabError(f"unsupported unary operator {expr.op!r}")
+
+
+def _compile_binary(expr: Binary, scope: _Scope) -> CExpr:
+    left = _compile_expr(expr.left, scope)
+    right = _compile_expr(expr.right, scope)
+    op = expr.op
+    deps = left.deps | right.deps
+    lf, rf = left.fn, right.fn
+    lw, rw = left.width, right.width
+
+    if op in ("&&", "||"):
+        if op == "&&":
+            return CExpr(
+                lambda s: int(bool(lf(s)) and bool(rf(s))), 1, False, deps
+            )
+        return CExpr(
+            lambda s: int(bool(lf(s)) or bool(rf(s))), 1, False, deps
+        )
+
+    if op in ("<<", ">>", ">>>"):
+        m = _mask(lw)
+        signed = left.signed and op == ">>>"
+        if op == "<<":
+            def fn(s):
+                shift = rf(s)
+                return 0 if shift >= lw else (lf(s) << shift) & m
+        elif op == ">>":
+            def fn(s):
+                return lf(s) >> rf(s)
+        else:  # >>>
+            if left.signed:
+                def fn(s):
+                    return (_to_signed(lf(s), lw) >> rf(s)) & m
+            else:
+                def fn(s):
+                    return lf(s) >> rf(s)
+        return CExpr(fn, lw, signed, deps)
+
+    # Remaining operators extend both operands to the common width.
+    width = max(lw, rw)
+    signed = left.signed and right.signed
+    ls, rs = left.signed, right.signed
+
+    def lval(s):
+        return _extend(lf(s), lw, width, ls)
+
+    def rval(s):
+        return _extend(rf(s), rw, width, rs)
+
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        if signed:
+            def decode(v):
+                return _to_signed(v, width)
+        else:
+            def decode(v):
+                return v
+        cmp_fn = {
+            "==": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }[op]
+        return CExpr(
+            lambda s: int(cmp_fn(decode(lval(s)), decode(rval(s)))),
+            1, False, deps,
+        )
+
+    m = _mask(width)
+    if op == "+":
+        fn = lambda s: (lval(s) + rval(s)) & m
+    elif op == "-":
+        fn = lambda s: (lval(s) - rval(s)) & m
+    elif op == "*":
+        fn = lambda s: (lval(s) * rval(s)) & m
+    elif op == "&":
+        fn = lambda s: lval(s) & rval(s)
+    elif op == "|":
+        fn = lambda s: lval(s) | rval(s)
+    elif op == "^":
+        fn = lambda s: lval(s) ^ rval(s)
+    elif op in ("/", "%"):
+        rem = op == "%"
+
+        def fn(s):
+            a, b = lval(s), rval(s)
+            if b == 0:
+                from .errors import VsimRuntimeError
+
+                raise VsimRuntimeError("division by zero")
+            if signed:
+                sa, sb = _to_signed(a, width), _to_signed(b, width)
+                q = abs(sa) // abs(sb)
+                if (sa < 0) != (sb < 0):
+                    q = -q
+                return (q if not rem else sa - q * sb) & m
+            return (a % b if rem else a // b) & m
+    else:
+        raise VsimElabError(f"unsupported binary operator {op!r}")
+    return CExpr(fn, width, signed, deps)
+
+
+# --------------------------------------------------------------------------
+# Statement compilation (always blocks)
+# --------------------------------------------------------------------------
+
+
+def _compile_always(
+    block: AlwaysBlock, scope: _Scope
+) -> Callable[[dict, dict], None]:
+    stmts = [_compile_stmt(s, scope) for s in block.body]
+
+    def run(state: dict, nba: dict) -> None:
+        for stmt in stmts:
+            stmt(state, nba)
+
+    return run
+
+
+def _compile_stmt(
+    stmt: Stmt, scope: _Scope
+) -> Callable[[dict, dict], None]:
+    if isinstance(stmt, NonBlocking):
+        target = scope.resolve(stmt.target, stmt.line)
+        rhs = _compile_expr(stmt.rhs, scope)
+        name, tw = target.name, target.width
+        rf, rw, rsigned = rhs.fn, rhs.width, rhs.signed
+        m = _mask(tw)
+
+        def run(state, nba):
+            nba[name] = _extend(rf(state), rw, tw, rsigned) & m
+
+        return run
+
+    if isinstance(stmt, If):
+        cond = _compile_expr(stmt.cond, scope)
+        then = [_compile_stmt(s, scope) for s in stmt.then]
+        other = [_compile_stmt(s, scope) for s in stmt.other]
+        cf = cond.fn
+
+        def run(state, nba):
+            for s in then if cf(state) else other:
+                s(state, nba)
+
+        return run
+
+    if isinstance(stmt, Case):
+        subject = _compile_expr(stmt.subject, scope)
+        sm = _mask(subject.width)
+        table: dict[int, list] = {}
+        default: list = []
+        for item in stmt.items:
+            body = [_compile_stmt(s, scope) for s in item.body]
+            if not item.labels:
+                default = body
+                continue
+            for label in item.labels:
+                value = _const_eval(label, scope, item.line) & sm
+                table[value] = body
+        sf = subject.fn
+
+        def run(state, nba):
+            for s in table.get(sf(state) & sm, default):
+                s(state, nba)
+
+        return run
+
+    raise VsimElabError(f"unsupported statement {type(stmt).__name__}")

@@ -1,0 +1,21 @@
+"""Error types for the Verilog subset simulator."""
+
+from __future__ import annotations
+
+from ..errors import CgpaError
+
+
+class VsimError(CgpaError):
+    """Base class for all vsim errors."""
+
+
+class VsimParseError(VsimError):
+    """Source text is outside the emitter's Verilog subset."""
+
+
+class VsimElabError(VsimError):
+    """Hierarchy elaboration failed (unknown module, bad connection, ...)."""
+
+
+class VsimRuntimeError(VsimError):
+    """Simulation-time failure (combinational loop, unknown signal, ...)."""

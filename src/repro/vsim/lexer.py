@@ -1,0 +1,153 @@
+"""Tokenizer for the emitter's Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import VsimParseError
+
+_PUNCT = (
+    ">>>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+:",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "?",
+    ":",
+    "=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ".",
+    "#",
+    "@",
+)
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_ID_CONT = _ID_START | set("0123456789")
+_BASE_DIGITS = {
+    "d": set("0123456789_"),
+    "h": set("0123456789abcdefABCDEF_"),
+    "b": set("01_"),
+    "o": set("01234567_"),
+}
+
+
+@dataclass
+class Token:
+    kind: str  # "id" | "num" | "punct" | "eof"
+    text: str
+    line: int
+    value: int = 0
+    width: int | None = None  # for sized number literals
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Verilog source, skipping comments and compiler directives."""
+    tokens: list[Token] = []
+    i, n, line = 0, len(source), 1
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise VsimParseError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "`":  # compiler directive (`timescale ...) — skip the line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == '"':  # string literal (testbench $display) — single token
+            end = source.find('"', i + 1)
+            if end < 0:
+                raise VsimParseError(f"line {line}: unterminated string")
+            tokens.append(Token("string", source[i : end + 1], line))
+            i = end + 1
+            continue
+        if ch in _ID_START:
+            j = i + 1
+            while j < n and source[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", source[i:j], line))
+            i = j
+            continue
+        if ch.isdigit() or ch == "'":
+            i = _lex_number(source, i, line, tokens)
+            continue
+        for punct in _PUNCT:
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, line))
+                i += len(punct)
+                break
+        else:
+            raise VsimParseError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _lex_number(source: str, i: int, line: int, tokens: list[Token]) -> int:
+    """Lex ``123``, ``64'hdead_beef``, ``4'b1010``, ``'d5``."""
+    n = len(source)
+    j = i
+    while j < n and source[j].isdigit():
+        j += 1
+    size_text = source[i:j]
+    if j < n and source[j] == "'":
+        width = int(size_text) if size_text else 32
+        j += 1
+        if j >= n or source[j].lower() not in _BASE_DIGITS:
+            raise VsimParseError(f"line {line}: bad number base after '")
+        base_ch = source[j].lower()
+        digits = _BASE_DIGITS[base_ch]
+        j += 1
+        k = j
+        while k < n and source[k] in digits:
+            k += 1
+        text = source[j:k].replace("_", "")
+        if not text:
+            raise VsimParseError(f"line {line}: empty number literal")
+        base = {"d": 10, "h": 16, "b": 2, "o": 8}[base_ch]
+        value = int(text, base)
+        tokens.append(
+            Token("num", source[i:k], line, value=value & ((1 << width) - 1), width=width)
+        )
+        return k
+    if not size_text:
+        raise VsimParseError(f"line {line}: bare ' is not a number")
+    tokens.append(Token("num", size_text, line, value=int(size_text), width=None))
+    return j

@@ -1,0 +1,390 @@
+"""Structural lint for emitted Verilog.
+
+Checks the properties a synthesis front-end would reject (and a few that
+it would silently mis-synthesize), per module:
+
+* every referenced identifier is declared (ports, nets, params, or a
+  known operator core),
+* assignment widths are consistent: a right-hand side wider than its
+  target loses bits silently in Verilog, so it is flagged (the only
+  exemption is ``fp_to_int_*``, whose 64-bit two's-complement result is
+  deliberately truncated to the integer width — C cast semantics),
+* the FSM ``case (state)`` has unique items, covers every declared state
+  localparam and carries a ``default``,
+* no multiply-driven signals: a net driven by more than one continuous
+  assign / instance output, or a reg assigned in more than one always
+  block,
+* no undriven signals that are read (wires need an assign, an instance
+  output or an input-port direction; regs need an always-block driver).
+
+Pure AST analysis — nothing is simulated, so it runs on any parseable
+module even when a hierarchy is incomplete (instances of unknown modules
+simply contribute no driver information for their connections).
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    Binary,
+    Case,
+    Concat,
+    Expr,
+    FuncCall,
+    If,
+    ModuleAst,
+    NonBlocking,
+    Num,
+    Ref,
+    Repeat,
+    Select,
+    SignedCast,
+    Stmt,
+    Ternary,
+    Unary,
+)
+from .errors import VsimParseError
+from .intrinsics import INTRINSICS
+from .parser import parse_verilog
+
+
+def lint_verilog(source: str) -> list[str]:
+    """Lint every module in ``source``; return human-readable issues."""
+    modules = parse_verilog(source)
+    by_name = {m.name: m for m in modules}
+    issues: list[str] = []
+    for mod in modules:
+        issues.extend(_lint_module(mod, by_name))
+    return issues
+
+
+def _lint_module(mod: ModuleAst, by_name: dict[str, ModuleAst]) -> list[str]:
+    issues: list[str] = []
+    ctx = f"{mod.name}"
+
+    widths: dict[str, int] = {}
+    params: dict[str, int] = {}
+    param_widths: dict[str, int] = {}
+    for pdecl in mod.params:
+        value, width = _try_const(pdecl.value, params, param_widths)
+        params[pdecl.name] = 0 if value is None else value
+        param_widths[pdecl.name] = width or 32
+
+    def range_width(decl) -> int:
+        if decl.msb is None:
+            return 1
+        msb, _ = _try_const(decl.msb, params, param_widths)
+        lsb, _ = _try_const(decl.lsb, params, param_widths)
+        if msb is None or lsb is None:
+            return 32
+        return msb - lsb + 1
+
+    directions: dict[str, str | None] = {}
+    kinds: dict[str, str] = {}
+    for decl in list(mod.ports) + list(mod.nets):
+        if decl.name in widths:
+            issues.append(f"{ctx}: duplicate declaration of {decl.name!r}")
+        widths[decl.name] = range_width(decl)
+        directions[decl.name] = decl.direction
+        kinds[decl.name] = decl.kind
+
+    declared = set(widths) | set(params)
+
+    # ------------------------------------------------------ driver census
+    drivers: dict[str, list[str]] = {name: [] for name in widths}
+    used: set[str] = set()
+
+    def record_use(expr: Expr | None) -> None:
+        for name in _refs(expr):
+            used.add(name)
+            if name not in declared:
+                issues.append(f"{ctx}: undeclared identifier {name!r}")
+                declared.add(name)  # report once
+
+    for assign in mod.assigns:
+        record_use(assign.rhs)
+        if assign.target not in widths:
+            issues.append(
+                f"{ctx}: assign to undeclared net {assign.target!r}"
+            )
+            continue
+        drivers[assign.target].append(f"assign (line {assign.line})")
+
+    for idx, block in enumerate(mod.always):
+        record_use(Ref(block.clock, line=block.line))
+        block_targets: set[str] = set()
+        _walk_stmts(block.body, record_use, block_targets, issues, ctx, widths)
+        for target in block_targets:
+            if target in drivers:
+                drivers[target].append(f"always #{idx} (line {block.line})")
+
+    for inst in mod.instances:
+        child = by_name.get(inst.module)
+        child_ports = (
+            {p.name: p for p in child.ports} if child is not None else {}
+        )
+        for conn in inst.connections:
+            record_use(conn.expr)
+            port = child_ports.get(conn.port)
+            if child is not None and port is None:
+                issues.append(
+                    f"{ctx}: instance {inst.name} connects unknown port "
+                    f"{conn.port!r} of {inst.module}"
+                )
+                continue
+            if (
+                port is not None
+                and port.direction == "output"
+                and isinstance(conn.expr, Ref)
+                and conn.expr.name in drivers
+            ):
+                drivers[conn.expr.name].append(
+                    f"instance {inst.name}.{conn.port}"
+                )
+
+    for name, driver_list in drivers.items():
+        if len(driver_list) > 1:
+            issues.append(
+                f"{ctx}: {name!r} is multiply driven ({'; '.join(driver_list)})"
+            )
+        if not driver_list and directions.get(name) != "input" and name in used:
+            issues.append(f"{ctx}: {name!r} is read but never driven")
+        if driver_list and directions.get(name) == "input":
+            issues.append(f"{ctx}: input port {name!r} is driven internally")
+
+    # ------------------------------------------------- width consistency
+    def check_assign_width(target: str, rhs: Expr, line: int) -> None:
+        tw = widths.get(target)
+        if tw is None:
+            return
+        rw = _expr_width(rhs, widths, param_widths)
+        if rw is None:
+            return
+        if isinstance(rhs, FuncCall) and rhs.name.startswith("fp_to_int_"):
+            return  # 64-bit two's complement deliberately truncated
+        if rw > tw:
+            issues.append(
+                f"{ctx} line {line}: {target!r} is {tw} bits but its "
+                f"right-hand side is {rw} bits"
+            )
+
+    for assign in mod.assigns:
+        check_assign_width(assign.target, assign.rhs, assign.line)
+    for block in mod.always:
+        for stmt, _ in _iter_stmts(block.body):
+            if isinstance(stmt, NonBlocking):
+                check_assign_width(stmt.target, stmt.rhs, stmt.line)
+
+    # ------------------------------------------------- FSM case coverage
+    state_params = {
+        name: value
+        for name, value in params.items()
+        if name == "STATE_IDLE" or name.startswith("S_")
+    }
+    for block in mod.always:
+        for stmt, _ in _iter_stmts(block.body):
+            if isinstance(stmt, Case) and _is_state_case(stmt):
+                issues.extend(
+                    _lint_state_case(stmt, state_params, params, param_widths, ctx)
+                )
+
+    return issues
+
+
+def _is_state_case(stmt: Case) -> bool:
+    return isinstance(stmt.subject, Ref) and stmt.subject.name == "state"
+
+
+def _lint_state_case(
+    stmt: Case,
+    state_params: dict[str, int],
+    params: dict[str, int],
+    param_widths: dict[str, int],
+    ctx: str,
+) -> list[str]:
+    issues: list[str] = []
+    seen: dict[int, int] = {}
+    has_default = False
+    for item in stmt.items:
+        if not item.labels:
+            has_default = True
+            continue
+        for label in item.labels:
+            value, _ = _try_const(label, params, param_widths)
+            if value is None:
+                issues.append(
+                    f"{ctx} line {item.line}: non-constant case label"
+                )
+                continue
+            if value in seen:
+                issues.append(
+                    f"{ctx} line {item.line}: duplicate case item for "
+                    f"state {value}"
+                )
+            seen[value] = item.line
+    for name, value in state_params.items():
+        if value not in seen:
+            issues.append(f"{ctx}: FSM case does not handle state {name}")
+    if not has_default:
+        issues.append(f"{ctx}: FSM case has no default item")
+    return issues
+
+
+# --------------------------------------------------------------------------
+# AST walking helpers
+# --------------------------------------------------------------------------
+
+
+def _refs(expr: Expr | None):
+    """All identifier references in an expression."""
+    if expr is None:
+        return
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Ref):
+            yield node.name
+        elif isinstance(node, Unary):
+            stack.append(node.operand)
+        elif isinstance(node, Binary):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, Ternary):
+            stack.extend((node.cond, node.then, node.other))
+        elif isinstance(node, Select):
+            stack.append(node.base)
+            stack.append(node.msb)
+            if node.lsb is not None:
+                stack.append(node.lsb)
+        elif isinstance(node, Concat):
+            stack.extend(node.parts)
+        elif isinstance(node, Repeat):
+            stack.extend((node.count, node.value))
+        elif isinstance(node, SignedCast):
+            stack.append(node.operand)
+        elif isinstance(node, FuncCall):
+            stack.extend(node.args)
+
+
+def _iter_stmts(stmts: list[Stmt], depth: int = 0):
+    for stmt in stmts:
+        yield stmt, depth
+        if isinstance(stmt, If):
+            yield from _iter_stmts(stmt.then, depth + 1)
+            yield from _iter_stmts(stmt.other, depth + 1)
+        elif isinstance(stmt, Case):
+            for item in stmt.items:
+                yield from _iter_stmts(item.body, depth + 1)
+
+
+def _walk_stmts(
+    stmts: list[Stmt],
+    record_use,
+    targets: set[str],
+    issues: list[str],
+    ctx: str,
+    widths: dict[str, int],
+) -> None:
+    for stmt, _ in _iter_stmts(stmts):
+        if isinstance(stmt, NonBlocking):
+            record_use(stmt.rhs)
+            if stmt.target not in widths:
+                issues.append(
+                    f"{ctx} line {stmt.line}: nonblocking assign to "
+                    f"undeclared {stmt.target!r}"
+                )
+            else:
+                targets.add(stmt.target)
+        elif isinstance(stmt, If):
+            record_use(stmt.cond)
+        elif isinstance(stmt, Case):
+            record_use(stmt.subject)
+            for item in stmt.items:
+                for label in item.labels:
+                    record_use(label)
+
+
+# --------------------------------------------------------------------------
+# Constant folding / width inference (best effort, pure AST)
+# --------------------------------------------------------------------------
+
+
+def _try_const(
+    expr: Expr, params: dict[str, int], param_widths: dict[str, int]
+) -> tuple[int | None, int | None]:
+    """(value, width) if statically evaluable, else (None, width-guess)."""
+    if isinstance(expr, Num):
+        return expr.value, expr.width or 32
+    if isinstance(expr, Ref) and expr.name in params:
+        return params[expr.name], param_widths.get(expr.name, 32)
+    if isinstance(expr, Binary):
+        lv, lw = _try_const(expr.left, params, param_widths)
+        rv, rw = _try_const(expr.right, params, param_widths)
+        if lv is None or rv is None:
+            return None, None
+        width = max(lw or 32, rw or 32)
+        try:
+            value = {
+                "+": lv + rv, "-": lv - rv, "*": lv * rv,
+            }.get(expr.op)
+        except TypeError:  # pragma: no cover - defensive
+            return None, None
+        if value is None:
+            return None, None
+        return value & ((1 << width) - 1), width
+    return None, None
+
+
+def _expr_width(
+    expr: Expr, widths: dict[str, int], param_widths: dict[str, int]
+) -> int | None:
+    """Self-determined width of an expression, or None if unknown."""
+    w = lambda e: _expr_width(e, widths, param_widths)
+    if isinstance(expr, Num):
+        return expr.width or 32
+    if isinstance(expr, Ref):
+        if expr.name in widths:
+            return widths[expr.name]
+        return param_widths.get(expr.name)
+    if isinstance(expr, SignedCast):
+        return w(expr.operand)
+    if isinstance(expr, Unary):
+        return 1 if expr.op == "!" else w(expr.operand)
+    if isinstance(expr, Binary):
+        if expr.op in ("&&", "||", "==", "!=", "<", "<=", ">", ">="):
+            return 1
+        if expr.op in ("<<", ">>", ">>>"):
+            return w(expr.left)
+        lw, rw = w(expr.left), w(expr.right)
+        if lw is None or rw is None:
+            return None
+        return max(lw, rw)
+    if isinstance(expr, Ternary):
+        tw, ow = w(expr.then), w(expr.other)
+        if tw is None or ow is None:
+            return None
+        return max(tw, ow)
+    if isinstance(expr, Select):
+        msb, _ = _try_const(expr.msb, {}, {})
+        if expr.lsb is None:
+            return 1 if msb is not None else None
+        lsb, _ = _try_const(expr.lsb, {}, {})
+        if msb is None or lsb is None:
+            return None
+        return msb - lsb + 1
+    if isinstance(expr, Concat):
+        total = 0
+        for part in expr.parts:
+            pw = w(part)
+            if pw is None:
+                return None
+            total += pw
+        return total
+    if isinstance(expr, Repeat):
+        count, _ = _try_const(expr.count, {}, {})
+        vw = w(expr.value)
+        if count is None or vw is None:
+            return None
+        return count * vw
+    if isinstance(expr, FuncCall):
+        entry = INTRINSICS.get(expr.name)
+        return entry[1] if entry else None
+    return None

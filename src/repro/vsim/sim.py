@@ -1,0 +1,68 @@
+"""Cycle-level simulation of an elaborated design.
+
+Two-state (0/1) semantics: every signal starts at 0, there is no X/Z.
+One :meth:`Simulation.step` models one rising clock edge:
+
+1. combinational assigns settle on the pre-edge state (in topological
+   order, so one pass suffices — elaboration rejects loops),
+2. every ``always @(posedge ...)`` block evaluates against that settled
+   pre-edge state, writing into a nonblocking-assignment buffer
+   (last write wins, matching NBA semantics),
+3. the buffer commits, masked to each signal's width,
+4. combinational assigns settle again so ``peek`` reads post-edge values.
+
+The single-clock assumption matches the emitter: every always block is
+clocked by the module's ``clk`` input, so all blocks fire on each step.
+"""
+
+from __future__ import annotations
+
+from .elaborate import Design, _mask
+from .errors import VsimRuntimeError
+
+
+class Simulation:
+    """Drive an elaborated :class:`Design` cycle by cycle."""
+
+    def __init__(self, design: Design) -> None:
+        self.design = design
+        self.state: dict[str, int] = {
+            name: 0 for name in design.signals
+        }
+        self.cycle = 0
+        self._settle()
+
+    # ----------------------------------------------------------- interface
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive a top-level input (or force any signal) for the next edge."""
+        sig = self.design.signals.get(name)
+        if sig is None:
+            raise VsimRuntimeError(f"poke of unknown signal {name!r}")
+        self.state[name] = value & _mask(sig.width)
+        self._settle()
+
+    def peek(self, name: str) -> int:
+        try:
+            return self.state[name]
+        except KeyError:
+            raise VsimRuntimeError(f"peek of unknown signal {name!r}") from None
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` rising edges."""
+        signals = self.design.signals
+        for _ in range(cycles):
+            nba: dict[str, int] = {}
+            for block in self.design.seq:
+                block(self.state, nba)
+            for name, value in nba.items():
+                self.state[name] = value & _mask(signals[name].width)
+            self._settle()
+            self.cycle += 1
+
+    # ------------------------------------------------------------ internal
+
+    def _settle(self) -> None:
+        state = self.state
+        for target, cexpr in self.design.comb:
+            state[target] = cexpr.fn(state)

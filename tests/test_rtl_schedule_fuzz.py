@@ -7,10 +7,94 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.frontend import compile_c
 from repro.hw import AcceleratorSystem
 from repro.interp import Interpreter, Memory
-from repro.rtl import schedule_function
+from repro.ir.instructions import Instruction, ParallelFork, Phi, StoreLiveout
+from repro.kernels import ALL_KERNELS
+from repro.pipeline import cgpa_compile
+from repro.rtl import (
+    cost_of,
+    is_fifo_op,
+    is_memory_op,
+    schedule_function,
+)
 from repro.transforms import optimize_module
 
 from tests.test_transforms_properties import random_program
+
+
+def assert_paper_constraints(fn, schedule):
+    """The four scheduling constraints of Section 3.4, checked per block.
+
+    (1) data dependences respected (incl. the branch-edge phi latch),
+    (2) one memory port: at most one load/store per state,
+    (3) FIFO ops stay in program order, never sharing a state with each
+        other or a memory op,
+    (4) FSM well-formed: every op has a state inside its block, the
+        terminator retires last, store_liveout is co-scheduled with it
+        and same-loop forks share a state.
+    """
+    for block in fn.blocks:
+        bs = schedule.block_schedule(block)
+        local = {id(i) for i in block.instructions}
+
+        # (1) data dependences: a consumer never reads a register before
+        # the producer's write retires.
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                continue  # resolved on block entry
+            state = bs.state_of[id(inst)]
+            deps = list(inst.operands)
+            if inst.is_terminator:
+                # The branch edge latches successor phis from the
+                # incoming result registers.
+                for succ in inst.successors():
+                    for phi in succ.phis():
+                        deps.append(phi.incoming_for(block))
+            for op in deps:
+                if isinstance(op, Instruction) and id(op) in local:
+                    if isinstance(op, Phi):
+                        continue
+                    ready = bs.state_of[id(op)] + cost_of(op).latency
+                    assert state >= ready, (
+                        f"{fn.name}/{block.short_name()}: {type(inst).__name__} "
+                        f"in state {state} reads a result not ready before "
+                        f"state {ready}"
+                    )
+
+        # (2)+(3) per-state resource exclusivity.
+        by_state = {}
+        for inst in block.instructions:
+            by_state.setdefault(bs.state_of[id(inst)], []).append(inst)
+        for state, ops in by_state.items():
+            mem = [o for o in ops if is_memory_op(o)]
+            fifo = [o for o in ops if is_fifo_op(o)]
+            assert len(mem) <= 1, "two memory ops share a state"
+            assert len(fifo) <= 1, "two FIFO ops share a state"
+            assert not (mem and fifo), "FIFO op shares a state with memory"
+
+        # (3) FIFO in-order: program order == state order.
+        fifo_states = [
+            bs.state_of[id(i)] for i in block.instructions if is_fifo_op(i)
+        ]
+        assert fifo_states == sorted(fifo_states)
+        assert len(fifo_states) == len(set(fifo_states))
+
+        # (4) FSM well-formedness.
+        term = block.terminator
+        for inst in block.instructions:
+            state = bs.state_of[id(inst)]
+            assert 0 <= state < bs.n_states
+            if term is not None and inst is not term:
+                assert state <= bs.state_of[id(term)]
+            if isinstance(inst, StoreLiveout) and term is not None:
+                assert state == bs.state_of[id(term)]
+        fork_states = {}
+        for inst in block.instructions:
+            if isinstance(inst, ParallelFork):
+                fork_states.setdefault(inst.loop_id, set()).add(
+                    bs.state_of[id(inst)]
+                )
+        for states in fork_states.values():
+            assert len(states) == 1, "same-loop forks split across states"
 
 
 class TestScheduleFuzz:
@@ -52,3 +136,30 @@ class TestScheduleFuzz:
         fn = module.get_function("f")
         text = generate_verilog(fn)
         assert text.count("module ") - text.count("endmodule") == 0
+
+
+class TestPaperConstraints:
+    """Section 3.4's four scheduling constraints, asserted directly."""
+
+    @given(random_program())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_constraints_hold_on_random_programs(self, source):
+        module = compile_c(source)
+        optimize_module(module)
+        fn = module.get_function("f")
+        assert_paper_constraints(fn, schedule_function(fn))
+
+    @pytest.mark.parametrize(
+        "spec", ALL_KERNELS, ids=[s.name for s in ALL_KERNELS]
+    )
+    def test_constraints_hold_on_kernel_tasks(self, spec):
+        # Kernel tasks exercise FIFO ops, calls and liveouts, which the
+        # random integer programs cannot reach.
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        compiled = cgpa_compile(
+            module, spec.accel_function, shapes=spec.shapes_for(module),
+        )
+        for fn in compiled.result.tasks + [compiled.result.parent]:
+            assert_paper_constraints(fn, schedule_function(fn))
