@@ -1,0 +1,207 @@
+"""Service load: mixed workload throughput, latency, and cache warmth.
+
+Boots a real :func:`repro.service.app.start_service` instance (ephemeral
+port, tmp store, 4 workers) and drives a 200-request mixed workload —
+compile, simulate, and dse jobs over three kernels — from 8 concurrent
+client threads, twice:
+
+* **pass 1 (cold)** — only coalescing and the filling store dedupe the
+  repeats; every unique request executes exactly once;
+* **pass 2 (warm)** — the identical workload again; the acceptance bar
+  is >= 95% of submissions served straight from the artifact store
+  (in practice 100%: nothing executes twice).
+
+Every unique artifact the service returns must be byte-identical to a
+direct in-process :func:`repro.service.jobs.execute` run — the service
+adds transport and scheduling, never semantics.  Pass ``--json <path>``
+for BENCH_service.json tracking.
+"""
+
+import json
+import random
+import statistics
+import threading
+import time
+
+from conftest import emit
+
+from repro.service import JobRequest, ServiceClient
+from repro.service.app import ServiceConfig, start_service
+from repro.service.jobs import execute
+
+KERNELS = ["ks", "em3d", "Hash-indexing"]
+N_REQUESTS = 200
+N_CLIENTS = 8
+SEED = 20140601  # DAC'14
+
+
+def _unique_requests() -> list[JobRequest]:
+    """The 18 distinct jobs the workload is drawn from."""
+    requests = []
+    for kernel in KERNELS:
+        for n_workers in (1, 2, 4):
+            requests.append(
+                JobRequest.make("compile", kernel, {"n_workers": n_workers})
+            )
+        for n_workers in (2, 4):
+            requests.append(
+                JobRequest.make("simulate", kernel, {"n_workers": n_workers})
+            )
+        requests.append(
+            JobRequest.make(
+                "dse",
+                kernel,
+                {"strategy": "grid", "policies": ["p1"],
+                 "n_workers": [1, 2], "fifo_depths": [4]},
+            )
+        )
+    return requests
+
+
+def _workload(unique: list[JobRequest]) -> list[JobRequest]:
+    """200 requests: every unique job at least once, the rest repeats."""
+    rng = random.Random(SEED)
+    workload = list(unique)
+    workload += [rng.choice(unique) for _ in range(N_REQUESTS - len(unique))]
+    rng.shuffle(workload)
+    return workload
+
+
+def _drive(host, port, workload) -> tuple[float, list[float]]:
+    """Fan the workload over N_CLIENTS threads; returns (wall_s, latencies)."""
+    shards = [workload[i::N_CLIENTS] for i in range(N_CLIENTS)]
+    latencies: list[float] = []
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def client_main(index: int, shard: list[JobRequest]) -> None:
+        try:
+            with ServiceClient(host, port, client_id=f"bench-{index}") as c:
+                mine = []
+                for request in shard:
+                    start = time.perf_counter()
+                    c.run(request, timeout=600, poll_s=0.02)
+                    mine.append(time.perf_counter() - start)
+                with lock:
+                    latencies.extend(mine)
+        except BaseException as exc:  # pragma: no cover - failure path
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client_main, args=(i, shard))
+        for i, shard in enumerate(shards)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    assert len(latencies) == len(workload)
+    return wall_s, latencies
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def test_service_load(benchmark, results_dir, json_path, tmp_path):
+    unique = _unique_requests()
+    workload = _workload(unique)
+    assert len(workload) == N_REQUESTS
+    assert len({r.key for r in unique}) == len(unique)
+
+    config = ServiceConfig(
+        port=0, workers=4, store_root=str(tmp_path / "store"),
+        rate_capacity=256, rate_refill_per_s=128,
+    )
+    with start_service(config) as handle:
+        with ServiceClient(handle.host, handle.port) as probe:
+            cold_wall, cold_lat = _drive(handle.host, handle.port, workload)
+            cold_stats = probe.stats()
+
+            warm_wall, warm_lat = _drive(handle.host, handle.port, workload)
+            warm_stats = probe.stats()
+
+            # Every artifact the service handed out is byte-identical to
+            # a direct in-process execution of the same request.
+            for request in unique:
+                served = probe.artifact(request.key)
+                direct = execute(request)
+                assert json.dumps(served, sort_keys=True) == json.dumps(
+                    direct, sort_keys=True
+                ), f"service artifact diverged for {request.kind}/{request.kernel}"
+
+        # The tracked quantity: one fully-warm request round trip.
+        with ServiceClient(handle.host, handle.port) as timed:
+            benchmark.pedantic(
+                lambda: timed.run(unique[0]), rounds=1, iterations=1
+            )
+
+    # Nothing executed twice, cold pass included.
+    queue_cold = cold_stats["queue"]
+    assert queue_cold["executed"] == len(unique)
+    assert queue_cold["failed"] == 0
+
+    # Warm pass: every submission answered from the store (bar: >= 95%).
+    submitted = warm_stats["queue"]["submitted"] - queue_cold["submitted"]
+    cached = warm_stats["queue"]["cached"] - queue_cold["cached"]
+    warm_served = cached / submitted
+    assert submitted == N_REQUESTS
+    assert warm_served >= 0.95, f"warm pass only {warm_served:.0%} store-served"
+    assert warm_stats["queue"]["executed"] == queue_cold["executed"]
+
+    store = warm_stats["store"]
+    hit_rate = store["hit_rate"]
+    lines = [
+        "Service load (200-request mixed workload, 8 clients, 4 workers)",
+        f"  kernels: {', '.join(KERNELS)}; "
+        f"{len(unique)} unique jobs (compile/simulate/dse)",
+        "",
+        f"{'pass':<6s} {'wall':>7s} {'req/s':>7s} {'p50':>8s} {'p99':>8s}",
+        f"{'cold':<6s} {cold_wall:>6.2f}s {N_REQUESTS / cold_wall:>7.1f} "
+        f"{1e3 * _percentile(cold_lat, 0.50):>6.1f}ms "
+        f"{1e3 * _percentile(cold_lat, 0.99):>6.1f}ms",
+        f"{'warm':<6s} {warm_wall:>6.2f}s {N_REQUESTS / warm_wall:>7.1f} "
+        f"{1e3 * _percentile(warm_lat, 0.50):>6.1f}ms "
+        f"{1e3 * _percentile(warm_lat, 0.99):>6.1f}ms",
+        "",
+        f"executions: {queue_cold['executed']} "
+        f"(of {2 * N_REQUESTS} submissions; nothing ran twice)",
+        f"coalesced in flight: {queue_cold['coalesced']}",
+        f"warm pass store-served: {warm_served:.0%}",
+        f"store hit rate overall: {hit_rate:.0%} "
+        f"({store['warm_hits']} warm / {store['cold_hits']} cold hits)",
+    ]
+    emit(results_dir, "service_load", "\n".join(lines))
+
+    if json_path:
+        payload = {
+            "figure": "service_load",
+            "kernels": KERNELS,
+            "requests_per_pass": N_REQUESTS,
+            "clients": N_CLIENTS,
+            "unique_jobs": len(unique),
+            "cold": {
+                "wall_s": cold_wall,
+                "throughput_rps": N_REQUESTS / cold_wall,
+                "p50_ms": 1e3 * _percentile(cold_lat, 0.50),
+                "p99_ms": 1e3 * _percentile(cold_lat, 0.99),
+            },
+            "warm": {
+                "wall_s": warm_wall,
+                "throughput_rps": N_REQUESTS / warm_wall,
+                "p50_ms": 1e3 * _percentile(warm_lat, 0.50),
+                "p99_ms": 1e3 * _percentile(warm_lat, 0.99),
+            },
+            "executed": queue_cold["executed"],
+            "coalesced": queue_cold["coalesced"],
+            "warm_served_ratio": warm_served,
+            "store_hit_rate": hit_rate,
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)

@@ -1,13 +1,22 @@
-"""Content-addressed on-disk cache for design-point evaluations.
+"""Content-addressed cache for design-point evaluations.
 
 The cache key hashes everything that determines an
 :class:`~repro.dse.evaluate.EvalResult`: the kernel's C source and
 entry-point contract, the full design point, the evaluator's cycle budget
 and engine, and :data:`repro.cost.COST_MODEL_VERSION`.  Change any of
 those and the key changes — stale entries are never *invalidated*, they
-are simply never addressed again.  Entries are one small JSON file each,
-sharded two-level by key prefix, so a cache directory can be inspected
-(and deleted) with ordinary shell tools.
+are simply never addressed again.
+
+Storage is the service-layer :class:`~repro.service.store.ArtifactStore`
+(which this module's :class:`ResultCache` predates and is now a
+compatibility shim over): the same ``<key[:2]>/<key>.json`` sharding
+this cache always used, plus the store's locked atomic writes — an
+``os.O_EXCL`` temp stage and an atomic rename — so concurrent pool
+workers never interleave partial JSON, and a warm in-process LRU above
+the disk layer.  Existing cache directories written by older versions
+are read unchanged, and the service's artifact store accepts a DSE
+cache directory (and vice versa): keys from the two families hash
+disjoint payloads, so they can share one root.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import pathlib
 
 from ..cost import COST_MODEL_VERSION
 from ..kernels import KernelSpec
+from ..service.store import ArtifactStore
 from .space import DesignPoint
 
 #: Bump when the EvalResult schema or evaluation semantics change.
@@ -52,36 +62,38 @@ def result_key(
 
 
 class ResultCache:
-    """Directory of ``<key[:2]>/<key>.json`` evaluation results."""
+    """Directory of ``<key[:2]>/<key>.json`` evaluation results.
+
+    .. deprecated::
+        Thin compatibility shim over
+        :class:`repro.service.store.ArtifactStore`, kept because sweeps,
+        benchmarks and tests construct ``ResultCache(root)`` directly.
+        New code should use the store (same layout, plus stats and the
+        warm LRU) — or pass an ``ArtifactStore`` wherever a cache is
+        accepted; the explorer only needs ``get``/``put``.
+
+    The warm LRU is disabled here (``lru_entries=0``): sweep pools share
+    a cache directory across *processes*, so disk must stay the single
+    source of truth — a torn or corrupted entry is a miss even for the
+    process that just wrote it.
+    """
 
     def __init__(self, root: str | pathlib.Path) -> None:
-        self.root = pathlib.Path(root)
+        self.store = ArtifactStore(root, lru_entries=0)
+
+    @property
+    def root(self) -> pathlib.Path:
+        return self.store.root
 
     def _path(self, key: str) -> pathlib.Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self.store.path(key)
 
     def get(self, key: str) -> dict | None:
         """The stored result dict, or None on miss/corruption."""
-        path = self._path(key)
-        try:
-            return json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError):
-            # A torn write (e.g. interrupted sweep) is just a miss; the
-            # re-evaluation below will overwrite it atomically.
-            return None
+        return self.store.get(key)
 
     def put(self, key: str, result: dict) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so concurrent pool workers and interrupted
-        # sweeps can never leave a half-written entry behind.
-        tmp = path.with_name(f".{path.name}.tmp")
-        tmp.write_text(json.dumps(result, sort_keys=True))
-        tmp.replace(path)
+        self.store.put(key, result)
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.store)

@@ -13,6 +13,13 @@ Usage::
                                            # plans + watchdog diagnosis
     python -m repro.harness rtl ks         # co-simulate the emitted
                                            # Verilog against the oracle
+    python -m repro.harness serve          # long-lived compile/simulate/
+                                           # explore HTTP service
+
+The ``trace``/``dse``/``faults`` subcommands persist their result JSON
+in the content-addressed artifact store (default ``./.cgpa-store``, the
+same store the service uses), with the historical output paths kept as
+symlinks/copies of the stored artifact.
 
 Every subcommand turns a simulator or compiler failure
 (:class:`~repro.errors.CgpaError`) into a one-line ``error:`` diagnosis
@@ -30,7 +37,6 @@ from ..kernels import ALL_KERNELS, KERNELS_BY_NAME
 from ..telemetry import (
     MemoryTraceSink,
     analyze,
-    dump_chrome_trace,
     dump_vcd,
 )
 from .experiments import figure4, run_all_kernels, scalability, table2, table3, tradeoff
@@ -64,6 +70,29 @@ def _positive_int(text: str) -> int:
 def _csv_positive_ints(text: str) -> list[int]:
     """argparse type: comma-separated list of >= 1 integers."""
     return [_positive_int(item) for item in text.split(",") if item]
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    """``--store``: where result artifacts are content-addressed."""
+    parser.add_argument(
+        "--store", type=pathlib.Path, default=pathlib.Path(".cgpa-store"),
+        metavar="DIR",
+        help="content-addressed artifact store directory, shared with "
+        "`repro.harness serve` and the DSE result cache "
+        "(default: ./.cgpa-store)",
+    )
+
+
+def _publish_artifact(
+    store_root: pathlib.Path,
+    key: str,
+    artifact: dict,
+    mirror: pathlib.Path | None,
+) -> pathlib.Path:
+    """Persist ``artifact`` under ``key``, mirroring the legacy path."""
+    from ..service.store import ArtifactStore, publish
+
+    return publish(ArtifactStore(store_root), key, artifact, mirror=mirror)
 
 
 def dse_main(argv: list[str]) -> int:
@@ -156,8 +185,10 @@ def dse_main(argv: list[str]) -> int:
     parser.add_argument(
         "--out", type=pathlib.Path,
         default=pathlib.Path("benchmarks/results"),
-        help="directory for the sweep JSON (default: benchmarks/results)",
+        help="directory for the sweep JSON mirror (default: "
+        "benchmarks/results; the canonical copy lands in --store)",
     )
+    _add_store_argument(parser)
     args = parser.parse_args(argv)
 
     from ..dse import (
@@ -209,15 +240,33 @@ def dse_main(argv: list[str]) -> int:
           f"({args.strategy} strategy, {args.processes} process(es))...")
     sweep = explorer.run(strategy)
 
-    args.out.mkdir(parents=True, exist_ok=True)
+    from ..service.contracts import JobRequest
+
+    request = JobRequest.make("dse", spec.name, options={
+        "strategy": args.strategy,
+        "policies": policies,
+        "n_workers": args.workers_list,
+        "fifo_depths": args.fifo_depths,
+        "private_caches": private[args.caches],
+        "cache_lines": args.cache_lines,
+        "cache_ports": args.cache_ports,
+        "samples": args.samples,
+        "seed": args.seed,
+        "max_evals": args.max_evals,
+        "objective": args.objective,
+        "engine": args.engine,
+        "max_cycles": args.max_cycles or DEFAULT_EVAL_MAX_CYCLES,
+    })
     out_path = args.out / f"dse_{spec.name}_{args.strategy}.json"
-    out_path.write_text(
-        json.dumps(sweep.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    stored = _publish_artifact(
+        args.store, request.key, {"kind": "dse", **sweep.to_json_dict()},
+        mirror=out_path,
     )
     print()
     print(format_pareto(sweep))
     print()
-    print(f"sweep took {sweep.elapsed_s:.1f}s; full results: {out_path}")
+    print(f"sweep took {sweep.elapsed_s:.1f}s; "
+          f"artifact {request.key[:12]}… -> {stored} (mirror: {out_path})")
     return 0
 
 
@@ -265,8 +314,10 @@ def faults_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--json", type=pathlib.Path, default=None, metavar="PATH",
-        help="also write the full sweep (plans + outcomes) as JSON",
+        help="also mirror the full sweep (plans + outcomes) JSON at PATH "
+        "(the canonical copy lands in --store)",
     )
+    _add_store_argument(parser)
     args = parser.parse_args(argv)
 
     from ..faults.sweep import resilience_sweep
@@ -282,13 +333,26 @@ def faults_main(argv: list[str]) -> int:
         max_cycles=args.max_cycles,
     )
     print(report.format())
-    if args.json is not None:
-        args.json.parent.mkdir(parents=True, exist_ok=True)
-        args.json.write_text(
-            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
-        )
-        print()
-        print(f"full sweep JSON: {args.json}")
+
+    from ..service.contracts import JobRequest
+
+    request = JobRequest.make("faults", spec.name, options={
+        "plans": args.plans,
+        "seed": args.seed,
+        "engine": args.engine,
+        "n_workers": args.workers,
+        "fifo_depth": args.fifo_depth,
+        "max_cycles": args.max_cycles,
+    })
+    stored = _publish_artifact(
+        args.store, request.key, {"kind": "faults", **report.to_dict()},
+        mirror=args.json,
+    )
+    # stderr: stdout must stay byte-identical across engines (the CI
+    # smoke diffs it), and the content key covers the engine option.
+    print(f"artifact {request.key[:12]}… -> {stored}"
+          + (f" (mirror: {args.json})" if args.json is not None else ""),
+          file=sys.stderr)
     return 0
 
 
@@ -391,8 +455,10 @@ def trace_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--out", type=pathlib.Path, default=pathlib.Path("traces"),
-        help="output directory (default: ./traces)",
+        help="output directory (default: ./traces); the chrome trace "
+        "JSON there is a mirror of the --store artifact",
     )
+    _add_store_argument(parser)
     parser.add_argument(
         "--engine", default="event", choices=["event", "lockstep"],
         help="simulator clock loop: event-driven skip-ahead (default) or "
@@ -421,7 +487,27 @@ def trace_main(argv: list[str]) -> int:
     vcd_path = args.out / f"{stem}.vcd"
     analysis_path = args.out / f"{stem}.bottleneck.txt"
 
-    dump_chrome_trace(sink, str(trace_path))
+    from ..cost import COST_MODEL_VERSION
+    from ..service.store import content_key
+    from ..telemetry.chrome_trace import to_chrome_trace
+
+    # Traces have no JobRequest kind (they are a CLI-only artifact), but
+    # they are content-addressed with the same discipline: everything
+    # that determines the trace participates in the key.
+    trace_key = content_key({
+        "kind": "trace",
+        "cost_model": COST_MODEL_VERSION,
+        "kernel": spec.name,
+        "source": spec.source,
+        "backend": args.backend,
+        "n_workers": args.workers,
+        "fifo_depth": args.fifo_depth,
+        "engine": args.engine,
+        "max_cycles": args.max_cycles,
+    })
+    _publish_artifact(
+        args.store, trace_key, to_chrome_trace(sink), mirror=trace_path
+    )
     dump_vcd(sink, str(vcd_path))
     analysis = analyze(sim, sink)
     analysis_text = (
@@ -436,8 +522,61 @@ def trace_main(argv: list[str]) -> int:
     print(f"  chrome trace : {trace_path}  (open in chrome://tracing)")
     print(f"  vcd waveform : {vcd_path}")
     print(f"  analysis     : {analysis_path}")
+    print(f"  artifact     : {trace_key[:12]}… in {args.store}")
     print()
     print(analysis_text)
+    return 0
+
+
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro.harness serve`` — the long-lived service."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness serve",
+        description="Run the CGPA toolchain as an HTTP service: submit "
+        "compile/simulate/dse/faults/rtl jobs (kernel + config in, job id "
+        "out), poll status, fetch results.  Results are content-addressed "
+        "in the artifact store, identical in-flight requests are coalesced "
+        "onto one job, and each client is token-bucket rate limited.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8337,
+        help="bind port; 0 picks an ephemeral port (default: 8337)",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="job worker threads draining the queue (default: 2)",
+    )
+    _add_store_argument(parser)
+    parser.add_argument(
+        "--lru-entries", type=int, default=512,
+        help="artifacts kept warm in memory above the disk store "
+        "(default: 512; 0 disables the warm layer)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=32.0, metavar="PER_S",
+        help="sustained per-client request rate (default: 32/s)",
+    )
+    parser.add_argument(
+        "--burst", type=float, default=64.0, metavar="TOKENS",
+        help="per-client burst budget (token-bucket capacity, default: 64)",
+    )
+    args = parser.parse_args(argv)
+
+    from ..service.app import ServiceConfig, run_server
+
+    run_server(ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_root=str(args.store),
+        lru_entries=args.lru_entries,
+        rate_capacity=args.burst,
+        rate_refill_per_s=args.rate,
+    ))
     return 0
 
 
@@ -471,6 +610,8 @@ def _dispatch(argv: list[str]) -> int:
         return faults_main(argv[1:])
     if argv and argv[0] == "rtl":
         return rtl_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",

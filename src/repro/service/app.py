@@ -1,0 +1,466 @@
+"""The CGPA service: a stdlib-only asyncio HTTP/1.1 JSON server.
+
+No framework, no dependencies: one ``asyncio.start_server`` callback
+parses HTTP/1.1 (request line, headers, Content-Length body, keep-alive)
+and routes to a handful of JSON endpoints::
+
+    POST /v1/jobs                submit a JobRequest        -> job record
+    GET  /v1/jobs/<id>           poll status                -> job record
+    GET  /v1/jobs/<id>/result    fetch the artifact (409 until done)
+    GET  /v1/artifacts/<key>     fetch any artifact by content key
+    GET  /v1/stats               store/queue/rate-limit counters
+    GET  /v1/healthz             liveness probe
+
+Submissions pass the per-client token-bucket limiter (client id =
+``X-Client-Id`` header, else peer address; over budget -> 429 with
+``Retry-After``), then the :class:`~repro.service.queue.JobQueue`,
+which answers from the artifact store, coalesces identical in-flight
+keys, or queues work for the thread-pool workers.  The event loop only
+ever parses bytes and probes dictionaries — every simulation runs on a
+worker thread — so status polls stay fast while jobs grind.
+
+``python -m repro.harness serve`` wraps :func:`run_server`; tests and
+the load benchmark use :func:`start_service` to run the whole service
+on a background thread with an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from .contracts import ContractError, JobRequest
+from .queue import JobQueue
+from .ratelimit import DEFAULT_CAPACITY, DEFAULT_REFILL_PER_S, RateLimiter
+from .store import DEFAULT_LRU_ENTRIES, ArtifactStore
+
+#: A service request body larger than this is refused (HTTP 413).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Idle keep-alive connections are closed after this many seconds.
+KEEP_ALIVE_TIMEOUT_S = 75.0
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one service instance needs to boot."""
+
+    host: str = "127.0.0.1"
+    port: int = 8337
+    workers: int = 2
+    store_root: str = ".cgpa-store"
+    lru_entries: int = DEFAULT_LRU_ENTRIES
+    rate_capacity: float = DEFAULT_CAPACITY
+    rate_refill_per_s: float = DEFAULT_REFILL_PER_S
+
+
+class _HttpError(Exception):
+    """Internal: unwinds request handling into an error response."""
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message}
+        self.retry_after = retry_after
+
+
+class CgpaService:
+    """One server instance: store + queue + limiter + HTTP front end."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        run: Callable[[JobRequest], dict] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store = ArtifactStore(
+            self.config.store_root, lru_entries=self.config.lru_entries
+        )
+        self.queue = JobQueue(self.store, workers=self.config.workers, run=run)
+        limiter_kwargs = {} if clock is None else {"clock": clock}
+        self.limiter = RateLimiter(
+            capacity=self.config.rate_capacity,
+            refill_per_s=self.config.rate_refill_per_s,
+            **limiter_kwargs,
+        )
+        self.requests_served = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 after :meth:`start`)."""
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        await self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "service not started"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Keep-alive connections outlive the listening socket: cancel
+        # their handler tasks so shutdown never leaves pending readers.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self.queue.close()
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        peer = writer.get_extra_info("peername")
+        peer_id = peer[0] if isinstance(peer, tuple) else "local"
+        try:
+            while True:
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(), KEEP_ALIVE_TIMEOUT_S
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if not request_line.strip():
+                    if not request_line:
+                        break  # EOF: client closed the connection
+                    continue  # stray CRLF between pipelined requests
+                keep_alive = await self._handle_request(
+                    request_line, reader, writer, peer_id
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # service shutting down
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer_id: str,
+    ) -> bool:
+        """Parse, route and answer one request; returns keep-alive."""
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            await self._respond(
+                writer, 400, {"error": "malformed request line"}, close=True
+            )
+            return False
+        headers = await self._read_headers(reader)
+        if headers is None:
+            return False
+        keep_alive = (
+            headers.get("connection", "keep-alive").lower() != "close"
+            and version.upper() != "HTTP/1.0"
+        )
+        body = b""
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            await self._respond(
+                writer, 400,
+                {"error": f"bad Content-Length {length_text!r}"}, close=True,
+            )
+            return False
+        if length > MAX_BODY_BYTES:
+            await self._respond(
+                writer, 413,
+                {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}, close=True,
+            )
+            return False
+        if length:
+            body = await reader.readexactly(length)
+
+        self.requests_served += 1
+        client_id = headers.get("x-client-id", peer_id)
+        extra_headers: dict[str, str] = {}
+        try:
+            status, payload = self._route(method, target, body, client_id)
+        except _HttpError as exc:
+            status, payload = exc.status, exc.payload
+            if exc.retry_after is not None:
+                extra_headers["Retry-After"] = f"{exc.retry_after:.3f}"
+        except Exception as exc:  # route bug: answer 500, keep serving
+            status, payload = 500, {
+                "error": f"internal: {type(exc).__name__}: {exc}"
+            }
+        await self._respond(
+            writer, status, payload, close=not keep_alive,
+            extra_headers=extra_headers,
+        )
+        return keep_alive
+
+    async def _read_headers(
+        self, reader: asyncio.StreamReader
+    ) -> dict[str, str] | None:
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                return None  # EOF mid-headers
+            line = line.strip()
+            if not line:
+                return headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        close: bool = False,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(
+        self, method: str, target: str, body: bytes, client_id: str
+    ) -> tuple[int, dict]:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        parts = path.strip("/").split("/")
+
+        if path == "/v1/healthz":
+            self._require(method, "GET")
+            return 200, {"ok": True}
+        if path == "/v1/stats":
+            self._require(method, "GET")
+            return 200, self._stats()
+        if path == "/v1/jobs":
+            self._require(method, "POST")
+            return self._submit(body, client_id)
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._require(method, "GET")
+            return 200, self._job(parts[2]).to_dict()
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+            self._require(method, "GET")
+            return self._result(parts[2])
+        if len(parts) == 3 and parts[:2] == ["v1", "artifacts"]:
+            self._require(method, "GET")
+            artifact = self.store.get(parts[2])
+            if artifact is None:
+                raise _HttpError(404, f"no artifact {parts[2]!r}")
+            return 200, artifact
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}")
+
+    def _submit(self, body: bytes, client_id: str) -> tuple[int, dict]:
+        decision = self.limiter.check(client_id)
+        if not decision.allowed:
+            raise _HttpError(
+                429,
+                f"rate limit exceeded for client {client_id!r}",
+                retry_after=decision.retry_after,
+            )
+        try:
+            data = json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}")
+        try:
+            request = JobRequest.from_dict(data)
+        except ContractError as exc:
+            raise _HttpError(400, str(exc))
+        record = self.queue.submit(request)
+        return 200, record.to_dict()
+
+    def _job(self, job_id: str):
+        record = self.queue.get(job_id)
+        if record is None:
+            raise _HttpError(404, f"no job {job_id!r}")
+        return record
+
+    def _result(self, job_id: str) -> tuple[int, dict]:
+        record = self._job(job_id)
+        if record.status == "failed":
+            raise _HttpError(500, record.error or "job failed")
+        artifact = self.queue.result(record)
+        if artifact is None:
+            raise _HttpError(
+                409, f"job {job_id} is {record.status}; result not ready"
+            )
+        return 200, artifact
+
+    def _stats(self) -> dict:
+        return {
+            "service": {
+                "requests": self.requests_served,
+                "clients": len(self.limiter),
+            },
+            "store": {**self.store.stats.to_dict(), "entries": len(self.store)},
+            "queue": {**self.queue.stats.to_dict(), "depth": self.queue.depth},
+            "rate": {"rejected": self.limiter.rejected},
+        }
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+
+def run_server(config: ServiceConfig) -> None:
+    """Blocking entry point for ``python -m repro.harness serve``."""
+
+    async def main() -> None:
+        service = CgpaService(config)
+        await service.start()
+        print(
+            f"CGPA service on http://{config.host}:{service.port} "
+            f"({config.workers} worker(s), store: {config.store_root})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServiceHandle:
+    """A service running on a daemon thread (tests / load generators)."""
+
+    def __init__(self, service: CgpaService, loop, thread: threading.Thread):
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def host(self) -> str:
+        return self.service.config.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+
+        async def _shutdown() -> None:
+            await self.service.stop()
+            asyncio.get_running_loop().stop()
+
+        self._loop.call_soon_threadsafe(
+            lambda: asyncio.ensure_future(_shutdown())
+        )
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_service(
+    config: ServiceConfig | None = None,
+    run: Callable[[JobRequest], dict] | None = None,
+    clock: Callable[[], float] | None = None,
+    timeout: float = 10.0,
+) -> ServiceHandle:
+    """Boot a service on a background thread; returns once it's listening.
+
+    Pass ``port=0`` in the config for an ephemeral port (read it back
+    from ``handle.port``).  The handle is a context manager; exiting it
+    stops the server and the worker pool.
+    """
+    config = config or ServiceConfig(port=0)
+    service = CgpaService(config, run=run, clock=clock)
+    started = threading.Event()
+    boot_error: list[BaseException] = []
+    loop_box: list[asyncio.AbstractEventLoop] = []
+
+    def main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_box.append(loop)
+
+        async def boot() -> None:
+            try:
+                await service.start()
+            except BaseException as exc:
+                boot_error.append(exc)
+                raise
+            finally:
+                started.set()
+
+        try:
+            loop.run_until_complete(boot())
+        except BaseException:
+            loop.close()
+            return
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=main, name="cgpa-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("service failed to start within timeout")
+    if boot_error:
+        raise RuntimeError(f"service failed to start: {boot_error[0]}")
+    return ServiceHandle(service, loop_box[0], thread)

@@ -1,0 +1,177 @@
+"""Blocking HTTP client for the CGPA service (stdlib ``http.client``).
+
+The client the harness smoke-test and the load benchmark drive: submit
+a job, poll its record, fetch the artifact — or do all three with
+:meth:`ServiceClient.run`.  One client holds one keep-alive connection
+(and transparently reconnects if the server closed an idle one), so a
+load generator uses one client per thread.
+
+Failures are typed: any non-2xx answer raises :class:`ServiceError`
+carrying the HTTP status and decoded payload, with :class:`RateLimited`
+(429, with ``retry_after``) and :class:`JobFailed` (a job that executed
+and failed) split out so callers can back off or report precisely.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from ..errors import CgpaError
+from .contracts import JobRequest
+
+
+class ServiceError(CgpaError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict):
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(message or f"HTTP {status}")
+        self.status = status
+        self.payload = payload
+
+
+class RateLimited(ServiceError):
+    """HTTP 429; ``retry_after`` says when a token will be available."""
+
+    def __init__(self, status: int, payload: dict, retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class JobFailed(ServiceError):
+    """The job ran and failed (compile error, deadlock, executor bug)."""
+
+
+class ServiceClient:
+    """One keep-alive connection to one CGPA service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8337,
+        client_id: str | None = None,
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
+        for attempt in (1, 2):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=payload, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # The server may have reaped an idle keep-alive connection;
+                # one reconnect covers that, a second failure is real.
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": f"non-JSON response: {raw[:200]!r}"}
+        if response.status == 429:
+            retry_after = float(
+                response.headers.get("Retry-After")
+                or decoded.get("retry_after", 1.0)
+            )
+            raise RateLimited(response.status, decoded, retry_after)
+        if response.status >= 400:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> bool:
+        return bool(self._request("GET", "/v1/healthz").get("ok"))
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, request: JobRequest | dict) -> dict:
+        """POST one job; returns its record dict (job_id, key, status...)."""
+        if isinstance(request, JobRequest):
+            request = request.to_dict()
+        return self._request("POST", "/v1/jobs", body=request)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finished artifact; raises ServiceError 409 until done."""
+        try:
+            return self._request("GET", f"/v1/jobs/{job_id}/result")
+        except RateLimited:
+            raise
+        except ServiceError as exc:
+            if exc.status == 500:
+                raise JobFailed(exc.status, exc.payload) from None
+            raise
+
+    def artifact(self, key: str) -> dict | None:
+        try:
+            return self._request("GET", f"/v1/artifacts/{key}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the job leaves the queue; returns its final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408, {"error": f"job {job_id} still {record['status']} "
+                                   f"after {timeout}s"}
+                )
+            time.sleep(poll_s)
+
+    def run(
+        self,
+        request: JobRequest | dict,
+        timeout: float = 600.0,
+        poll_s: float = 0.05,
+    ) -> dict:
+        """Submit, wait, fetch: the whole round trip, returning the artifact."""
+        record = self.submit(request)
+        if record["status"] not in ("done", "failed"):
+            record = self.wait(record["job_id"], timeout, poll_s)
+        if record["status"] == "failed":
+            raise JobFailed(500, {"error": record.get("error") or "job failed"})
+        return self.result(record["job_id"])

@@ -1,0 +1,230 @@
+"""Async job queue: submissions in, artifacts out, nothing done twice.
+
+The queue owns the service's execution pipeline:
+
+* **store short-circuit** — a submission whose artifact already exists
+  completes instantly (``cached=True``), which is what makes a repeated
+  workload a pure cache exercise;
+* **coalescing** — identical in-flight keys collapse onto one
+  :class:`JobRecord`; the second client polls the same job id and the
+  work runs exactly once;
+* **worker pool** — N asyncio worker tasks drain a FIFO queue, running
+  the (CPU-bound, blocking) executor on a thread pool so the HTTP event
+  loop stays responsive while simulations grind.
+
+All bookkeeping (records, in-flight map, stats) is touched only from
+the event loop thread, so there are no locks here; the executor runs on
+pool threads but communicates only through its return value.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import CgpaError
+from . import jobs
+from .contracts import JobRequest
+from .store import ArtifactStore
+
+#: JobRecord.status values, in lifecycle order.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class QueueStats:
+    """Submission-side counters (monotonic, per queue instance)."""
+
+    submitted: int = 0
+    cached: int = 0  # answered straight from the artifact store
+    coalesced: int = 0  # attached to an identical in-flight job
+    executed: int = 0
+    failed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "failed": self.failed,
+        }
+
+
+@dataclass
+class JobRecord:
+    """One tracked unit of work (shared by every coalesced submitter)."""
+
+    job_id: str
+    request: JobRequest
+    key: str
+    status: str = "queued"
+    error: str | None = None
+    #: True when the submission was answered from the store without
+    #: queueing any work.
+    cached: bool = False
+    #: How many submissions this record absorbed (1 = no coalescing).
+    submissions: int = 1
+    done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.request.kind,
+            "kernel": self.request.kernel,
+            "key": self.key,
+            "status": self.status,
+            "cached": self.cached,
+            "submissions": self.submissions,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Bounded worker pool over an asyncio FIFO with key coalescing."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        workers: int = 2,
+        run: Callable[[JobRequest], dict] | None = None,
+        max_records: int = 10_000,
+    ) -> None:
+        self.store = store
+        self.workers = max(1, workers)
+        self._run = run if run is not None else (
+            lambda request: jobs.execute(request, store=store)
+        )
+        self.max_records = max_records
+        self.stats = QueueStats()
+        self._records: dict[str, JobRecord] = {}
+        self._inflight: dict[str, JobRecord] = {}  # key -> queued/running
+        self._ids = itertools.count(1)
+        self._queue: asyncio.Queue[JobRecord] = asyncio.Queue()
+        self._tasks: list[asyncio.Task] = []
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="cgpa-job"
+        )
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"job-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting or running right now."""
+        return len(self._inflight)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> JobRecord:
+        """Register ``request``; returns its (possibly shared) record.
+
+        Resolution order: completed artifact in the store → instant
+        ``done`` record; identical key already queued/running → the
+        existing record (coalesced); otherwise a fresh record enters the
+        queue.
+        """
+        self.stats.submitted += 1
+        key = request.key
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.stats.coalesced += 1
+            inflight.submissions += 1
+            return inflight
+        if self.store.get(key) is not None:
+            self.stats.cached += 1
+            record = self._new_record(request, key)
+            record.status = "done"
+            record.cached = True
+            record.done.set()
+            return record
+        record = self._new_record(request, key)
+        self._inflight[key] = record
+        self._queue.put_nowait(record)
+        return record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        return self._records.get(job_id)
+
+    def result(self, record: JobRecord) -> dict | None:
+        """The finished artifact (None unless ``status == "done"``)."""
+        if record.status != "done":
+            return None
+        return self.store.get(record.key)
+
+    async def wait(self, record: JobRecord, timeout: float | None = None) -> bool:
+        """Block until the record finishes; False on timeout."""
+        try:
+            await asyncio.wait_for(record.done.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # -- internals ---------------------------------------------------------
+
+    def _new_record(self, request: JobRequest, key: str) -> JobRecord:
+        record = JobRecord(
+            job_id=f"job-{next(self._ids):08d}", request=request, key=key
+        )
+        self._records[record.job_id] = record
+        # Cap the registry: forget the oldest *finished* records first so
+        # a long-lived server doesn't grow without bound.
+        if len(self._records) > self.max_records:
+            for job_id, old in list(self._records.items()):
+                if old.done.is_set() and len(self._records) > self.max_records:
+                    del self._records[job_id]
+        return record
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            record = await self._queue.get()
+            record.status = "running"
+            try:
+                artifact = await loop.run_in_executor(
+                    self._pool, self._run, record.request
+                )
+                self.store.put(record.key, artifact)
+                record.status = "done"
+                self.stats.executed += 1
+            except asyncio.CancelledError:
+                record.status = "failed"
+                record.error = "service shutting down"
+                record.done.set()
+                self._inflight.pop(record.key, None)
+                raise
+            except CgpaError as exc:
+                record.status = "failed"
+                record.error = str(exc).splitlines()[0]
+                self.stats.failed += 1
+            except Exception as exc:  # executor bug: fail the job, not the server
+                record.status = "failed"
+                record.error = f"internal: {type(exc).__name__}: {exc}"
+                self.stats.failed += 1
+            finally:
+                if not record.done.is_set():
+                    record.done.set()
+                self._inflight.pop(record.key, None)
+                self._queue.task_done()

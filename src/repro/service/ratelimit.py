@@ -1,0 +1,94 @@
+"""Per-client token-bucket rate limiting for the service front door.
+
+Classic token bucket: each client id owns a bucket of ``capacity``
+tokens refilled at ``refill_per_s``; a request spends one token, and an
+empty bucket means HTTP 429 with a computed ``Retry-After``.  The clock
+is injectable so tests exercise refill behaviour without sleeping.
+Buckets are created on first sight of a client id and evicted
+least-recently-seen beyond ``max_clients``, so an open service cannot
+be memory-exhausted by id churn.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+#: Default bucket size (burst) and sustained refill rate.
+DEFAULT_CAPACITY = 64.0
+DEFAULT_REFILL_PER_S = 32.0
+
+
+@dataclass
+class Decision:
+    """Outcome of one rate-limit check."""
+
+    allowed: bool
+    #: Seconds until one token is available (0.0 when allowed).
+    retry_after: float = 0.0
+
+
+class TokenBucket:
+    """One client's bucket; time is supplied by the owner."""
+
+    __slots__ = ("capacity", "refill_per_s", "tokens", "updated")
+
+    def __init__(self, capacity: float, refill_per_s: float, now: float) -> None:
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self.tokens = float(capacity)
+        self.updated = now
+
+    def spend(self, now: float, cost: float = 1.0) -> Decision:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(
+            self.capacity, self.tokens + elapsed * self.refill_per_s
+        )
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return Decision(allowed=True)
+        if self.refill_per_s <= 0.0:
+            return Decision(allowed=False, retry_after=60.0)
+        deficit = cost - self.tokens
+        return Decision(
+            allowed=False, retry_after=deficit / self.refill_per_s
+        )
+
+
+class RateLimiter:
+    """Token buckets keyed by client id, with LRU eviction."""
+
+    def __init__(
+        self,
+        capacity: float = DEFAULT_CAPACITY,
+        refill_per_s: float = DEFAULT_REFILL_PER_S,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.capacity = capacity
+        self.refill_per_s = refill_per_s
+        self.max_clients = max(1, max_clients)
+        self.clock = clock
+        self.rejected = 0
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def check(self, client_id: str, cost: float = 1.0) -> Decision:
+        """Spend ``cost`` tokens from ``client_id``'s bucket."""
+        now = self.clock()
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.capacity, self.refill_per_s, now)
+            self._buckets[client_id] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        self._buckets.move_to_end(client_id)
+        decision = bucket.spend(now, cost)
+        if not decision.allowed:
+            self.rejected += 1
+        return decision
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,247 @@
+"""Content-addressed artifact store: the service's single source of truth.
+
+Every result the toolchain produces — compiled-pipeline summaries,
+simulation ``EvalResult`` dicts, DSE sweeps, fault reports, RTL co-sim
+verdicts, chrome traces — lands here as one JSON file addressed by the
+sha256 of everything that determines it (kernel source, full config,
+cost-model version; see :mod:`repro.service.contracts`).  Entries are
+immutable: a key is never *invalidated*, it simply stops being addressed
+when any input changes.
+
+Layout is ``<root>/<key[:2]>/<key>.json``, the exact sharding the DSE
+:class:`~repro.dse.cache.ResultCache` introduced, so design-point
+evaluations and service artifacts share one directory and one locking
+discipline.  ``ResultCache`` is now a compatibility shim over this class.
+
+Three layers sit above the files:
+
+* a **warm in-process LRU** (``lru_entries`` decoded dicts) so repeated
+  fetches of hot artifacts never touch the filesystem;
+* **locked atomic writes** — the journal file is staged under an
+  ``os.O_EXCL`` temp name and published with :func:`os.replace`, so
+  concurrent pool workers, service worker threads, and interrupted
+  sweeps can never interleave or expose partial JSON;
+* **stats** (warm/cold hits, misses, writes, conflicts) that the
+  service's ``/v1/stats`` endpoint and the load benchmark report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+#: Default number of decoded artifacts kept in the in-process LRU.
+DEFAULT_LRU_ENTRIES = 512
+
+
+def content_key(payload: dict) -> str:
+    """sha256 hex digest of a canonical-JSON payload.
+
+    The payload must contain *everything* that determines the artifact
+    (source text, full config, schema/cost-model versions); two payloads
+    serialise identically iff they are the same request.
+    """
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store instance (process-local, monotonic)."""
+
+    warm_hits: int = 0  # served from the in-process LRU
+    cold_hits: int = 0  # served from disk (then promoted to the LRU)
+    misses: int = 0
+    writes: int = 0
+    write_conflicts: int = 0  # O_EXCL lost to a concurrent writer
+
+    @property
+    def hits(self) -> int:
+        return self.warm_hits + self.cold_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "warm_hits": self.warm_hits,
+            "cold_hits": self.cold_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_conflicts": self.write_conflicts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ArtifactStore:
+    """Sharded directory of ``<key[:2]>/<key>.json`` artifacts + warm LRU.
+
+    Thread-safe: the LRU and stats are guarded by one lock, and disk
+    writes are atomic (staged + renamed), so any number of worker threads
+    or processes may share one root.  Cross-process readers only ever see
+    absent or complete files.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        lru_entries: int = DEFAULT_LRU_ENTRIES,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.lru_entries = max(0, lru_entries)
+        self.stats = StoreStats()
+        self._lru: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def path(self, key: str) -> pathlib.Path:
+        """Where ``key``'s artifact lives (whether or not it exists yet)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The stored artifact, or None on miss/torn write."""
+        with self._lock:
+            cached = self._lru.get(key)
+            if cached is not None:
+                self._lru.move_to_end(key)
+                self.stats.warm_hits += 1
+                return cached
+        try:
+            artifact = json.loads(self.path(key).read_text())
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # A torn or corrupted entry is just a miss; the next put()
+            # replaces it atomically.
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.cold_hits += 1
+            self._remember(key, artifact)
+        return artifact
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._lru:
+                return True
+        return self.path(key).is_file()
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: str, artifact: dict) -> pathlib.Path:
+        """Persist ``artifact`` under ``key``; returns its path.
+
+        The write is staged to a ``.{key}.json.tmp`` sibling opened with
+        ``O_CREAT | O_EXCL`` — the lock file — and published with the
+        atomic :func:`os.replace`.  Losing the O_EXCL race means another
+        writer is persisting the *same content* (keys are content
+        addresses), so the loser retries under a unique temp name rather
+        than waiting; either rename landing is correct and complete.
+        """
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(artifact, sort_keys=True)
+        tmp = path.with_name(f".{path.name}.tmp")
+        try:
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            with self._lock:
+                self.stats.write_conflicts += 1
+            if path.is_file():
+                # The concurrent writer already published; nothing to do.
+                with self._lock:
+                    self._remember(key, artifact)
+                return path
+            # Concurrent writer mid-flight (or a stale lock from a killed
+            # process): stage under a writer-unique name instead.  Both
+            # renames are atomic and carry identical bytes.
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            with os.fdopen(fd, "w") as fp:
+                fp.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.stats.writes += 1
+            self._remember(key, artifact)
+        return path
+
+    # -- introspection -----------------------------------------------------
+
+    def keys(self) -> list[str]:
+        """Every persisted key (sorted; ignores in-flight temp files)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def lru_keys(self) -> list[str]:
+        """Keys currently warm in memory, oldest first (for tests/stats)."""
+        with self._lock:
+            return list(self._lru)
+
+    def drop_memory(self) -> None:
+        """Forget the warm layer (disk entries survive; next gets are cold)."""
+        with self._lock:
+            self._lru.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _remember(self, key: str, artifact: dict) -> None:
+        """Insert into the LRU, evicting the least recently used (locked)."""
+        if self.lru_entries == 0:
+            return
+        self._lru[key] = artifact
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.lru_entries:
+            self._lru.popitem(last=False)
+
+
+def publish(
+    store: ArtifactStore,
+    key: str,
+    artifact: dict,
+    mirror: str | pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Persist ``artifact`` and optionally mirror it at a legacy path.
+
+    The store is the canonical location; ``mirror`` (e.g. the historical
+    ``benchmarks/results/dse_ks_grid.json``) becomes a symlink to the
+    stored file so old consumers keep working, falling back to a byte
+    copy on filesystems without symlink support.  Returns the canonical
+    store path.
+    """
+    path = store.put(key, artifact)
+    if mirror is not None:
+        mirror = pathlib.Path(mirror)
+        mirror.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            if mirror.is_symlink() or mirror.exists():
+                mirror.unlink()
+            mirror.symlink_to(path.resolve())
+        except OSError:
+            shutil.copyfile(path, mirror)
+    return path

@@ -353,6 +353,14 @@ class LiveoutDiff:
     def ok(self) -> bool:
         return self.oracle_bits == self.rtl_bits
 
+    def to_dict(self) -> dict:
+        return {
+            "liveout_id": self.liveout_id,
+            "oracle_bits": self.oracle_bits,
+            "rtl_bits": self.rtl_bits,
+            "ok": self.ok,
+        }
+
 
 @dataclass
 class InstanceReport:
@@ -364,6 +372,15 @@ class InstanceReport:
     @property
     def ok(self) -> bool:
         return self.traffic_diff is None and all(d.ok for d in self.liveouts)
+
+    def to_dict(self) -> dict:
+        return {
+            "tag": self.tag,
+            "cycles": self.cycles,
+            "liveouts": [d.to_dict() for d in self.liveouts],
+            "traffic_diff": self.traffic_diff,
+            "ok": self.ok,
+        }
 
 
 @dataclass
@@ -381,6 +398,16 @@ class RoundReport:
             and self.queue_diff is None
             and all(i.ok for i in self.instances)
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "loop_id": self.loop_id,
+            "instances": [i.to_dict() for i in self.instances],
+            "memory_diff": self.memory_diff,
+            "queue_diff": self.queue_diff,
+            "ok": self.ok,
+        }
 
 
 @dataclass
@@ -403,6 +430,20 @@ class CosimReport:
             max((i.cycles for i in r.instances), default=0)
             for r in self.rounds
         )
+
+    def to_dict(self) -> dict:
+        """JSON verdict form (service artifact / machine-readable log)."""
+        return {
+            "kernel": self.kernel,
+            "policy": self.policy,
+            "n_workers": self.n_workers,
+            "fifo_depth": self.fifo_depth,
+            "setup_args": list(self.setup_args),
+            "oracle_result": self.oracle_result,
+            "total_cycles": self.total_cycles,
+            "rounds": [r.to_dict() for r in self.rounds],
+            "ok": self.ok,
+        }
 
     def format(self) -> str:
         lines = [

@@ -294,6 +294,7 @@ class TestCli:
             "--fifo-depths", "4", "--processes", "2",
             "--cache-dir", str(tmp_path / "cache"),
             "--out", str(tmp_path / "results"),
+            "--store", str(tmp_path / "store"),
         ])
         assert rc == 0
         out = capsys.readouterr().out

@@ -500,7 +500,7 @@ class TestResilienceSweepAndCli:
     def test_faults_cli_smoke(self, capsys, tmp_path):
         out = tmp_path / "sweep.json"
         rc = main(["faults", "ks", "--plans", "1", "--seed", "0",
-                   "--json", str(out)])
+                   "--json", str(out), "--store", str(tmp_path / "store")])
         assert rc == 0
         stdout = capsys.readouterr().out
         assert "Resilience sweep: ks (1 plans/class, seed 0)" in stdout

@@ -1,0 +1,215 @@
+"""End-to-end HTTP tests: real sockets, real jobs, real artifacts.
+
+Each test boots a :func:`repro.service.app.start_service` instance on an
+ephemeral port with a tmp-dir store and drives it through
+:class:`repro.service.client.ServiceClient` — the same path the load
+benchmark and the CI smoke job use.  The full submit -> poll -> fetch
+contract is exercised for every job kind at smoke scale, and the
+service-specific behaviours (cache short-circuit, coalescing, 429,
+409-until-done, error routes) get targeted scenarios with fake
+executors where real kernels would only add runtime.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import JobRequest, RateLimited, ServiceClient, ServiceError
+from repro.service.app import ServiceConfig, start_service
+from repro.service.client import JobFailed
+from repro.service.jobs import execute
+from repro.service.store import ArtifactStore
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(port=0, workers=2, store_root=str(tmp_path / "store"))
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """A real service (real executor) plus a connected client."""
+    with start_service(_config(tmp_path)) as handle:
+        with ServiceClient(handle.host, handle.port, client_id="t") as client:
+            yield handle, client
+
+
+# Smoke-scale requests covering every job kind; ks is the cheapest
+# kernel end to end (rtl cosim for it takes well under a second).
+KIND_REQUESTS = {
+    "compile": JobRequest.make("compile", "ks"),
+    "simulate": JobRequest.make("simulate", "ks", {"n_workers": 2}),
+    "dse": JobRequest.make(
+        "dse",
+        "ks",
+        {"strategy": "grid", "policies": ["p1"], "n_workers": [1, 2],
+         "fifo_depths": [4], "max_cycles": 200_000},
+    ),
+    "faults": JobRequest.make(
+        "faults", "ks", {"plans": 2, "max_cycles": 200_000}
+    ),
+    "rtl": JobRequest.make("rtl", "ks", {"n_workers": 1}),
+}
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("kind", sorted(KIND_REQUESTS))
+    def test_submit_poll_fetch_matches_direct_execution(
+        self, live_service, kind
+    ):
+        _, client = live_service
+        request = KIND_REQUESTS[kind]
+        record = client.submit(request)
+        assert record["kind"] == kind and record["key"] == request.key
+        final = client.wait(record["job_id"], timeout=120)
+        assert final["status"] == "done", final.get("error")
+        artifact = client.result(record["job_id"])
+        # The service answer is exactly what a direct run produces.
+        assert artifact == execute(request)
+        # The artifact is also addressable by content key.
+        assert client.artifact(request.key) == artifact
+
+    def test_resubmission_is_served_from_the_store(self, live_service):
+        handle, client = live_service
+        request = KIND_REQUESTS["compile"]
+        first = client.run(request, timeout=120)
+        before = client.stats()
+        record = client.submit(request)
+        assert record["status"] == "done" and record["cached"]
+        assert client.result(record["job_id"]) == first
+        after = client.stats()
+        assert after["queue"]["cached"] == before["queue"]["cached"] + 1
+        assert after["store"]["warm_hits"] > before["store"]["warm_hits"]
+        assert after["queue"]["executed"] == before["queue"]["executed"]
+
+    def test_store_survives_service_restart(self, tmp_path):
+        request = KIND_REQUESTS["compile"]
+        with start_service(_config(tmp_path)) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                artifact = client.run(request, timeout=120)
+        # Same store root, new process-equivalent: served cold from disk.
+        with start_service(_config(tmp_path)) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                record = client.submit(request)
+                assert record["status"] == "done" and record["cached"]
+                assert client.result(record["job_id"]) == artifact
+                assert client.stats()["store"]["cold_hits"] >= 1
+
+
+class TestCoalescing:
+    def test_identical_inflight_submissions_share_one_job(self, tmp_path):
+        gate = threading.Event()
+        calls = []
+
+        def fake_run(request):
+            calls.append(request.key)
+            assert gate.wait(10)
+            return {"kind": request.kind, "echo": request.kernel}
+
+        with start_service(_config(tmp_path), run=fake_run) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                request = JobRequest.make("compile", "ks")
+                first = client.submit(request)
+                second = client.submit(request)
+                assert second["job_id"] == first["job_id"]
+                assert second["submissions"] == 2
+                # Not ready yet: the result endpoint answers 409.
+                with pytest.raises(ServiceError) as info:
+                    client.result(first["job_id"])
+                assert info.value.status == 409
+                gate.set()
+                final = client.wait(first["job_id"], timeout=10)
+                assert final["status"] == "done"
+                assert calls == [request.key]  # executed exactly once
+                assert client.stats()["queue"]["coalesced"] == 1
+                artifact = client.result(first["job_id"])
+                assert artifact == {"kind": "compile", "echo": "ks"}
+
+
+class TestRateLimiting:
+    def test_429_with_retry_after_then_recovery(self, tmp_path):
+        clock = [0.0]
+        config = _config(tmp_path, rate_capacity=2, rate_refill_per_s=1.0)
+        with start_service(
+            config, run=lambda r: {"ok": True}, clock=lambda: clock[0]
+        ) as handle:
+            with ServiceClient(
+                handle.host, handle.port, client_id="greedy"
+            ) as client:
+                client.submit(JobRequest.make("compile", "ks"))
+                client.submit(JobRequest.make("simulate", "ks"))
+                with pytest.raises(RateLimited) as info:
+                    client.submit(JobRequest.make("compile", "em3d"))
+                assert info.value.retry_after == pytest.approx(1.0, abs=0.01)
+                assert client.stats()["rate"]["rejected"] == 1
+                # Reads are never limited; only submissions spend tokens.
+                assert client.health()
+                clock[0] = 1.0
+                client.submit(JobRequest.make("compile", "em3d"))
+
+    def test_clients_have_independent_buckets(self, tmp_path):
+        config = _config(tmp_path, rate_capacity=1, rate_refill_per_s=0.0)
+        with start_service(
+            config, run=lambda r: {"ok": True}, clock=lambda: 0.0
+        ) as handle:
+            with ServiceClient(handle.host, handle.port, client_id="a") as a:
+                a.submit(JobRequest.make("compile", "ks"))
+                with pytest.raises(RateLimited):
+                    a.submit(JobRequest.make("compile", "em3d"))
+            with ServiceClient(handle.host, handle.port, client_id="b") as b:
+                b.submit(JobRequest.make("compile", "em3d"))
+
+
+class TestErrorPaths:
+    def test_failed_job_raises_job_failed(self, tmp_path):
+        from repro.errors import CgpaError
+
+        def fake_run(request):
+            raise CgpaError("deadlock: all workers stalled")
+
+        with start_service(_config(tmp_path), run=fake_run) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                with pytest.raises(JobFailed, match="deadlock"):
+                    client.run(JobRequest.make("compile", "ks"), timeout=10)
+                # The failure is not cached: stats show no store entry.
+                assert client.stats()["store"]["entries"] == 0
+
+    def test_contract_violations_answer_400(self, live_service):
+        _, client = live_service
+        for body in (
+            {"kind": "transmogrify", "kernel": "ks"},
+            {"kind": "compile", "kernel": "nope"},
+            {"kind": "compile", "kernel": "ks", "options": {"bogus": 1}},
+            [1, 2, 3],
+        ):
+            with pytest.raises(ServiceError) as info:
+                client.submit(body)
+            assert info.value.status == 400
+
+    def test_unknown_routes_and_ids_answer_404(self, live_service):
+        _, client = live_service
+        with pytest.raises(ServiceError) as info:
+            client.job("job-99999999")
+        assert info.value.status == 404
+        assert client.artifact("0" * 64) is None
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", "/v2/nope")
+        assert info.value.status == 404
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", "/v1/jobs")  # wrong method
+        assert info.value.status == 405
+
+    def test_non_json_body_answers_400(self, live_service):
+        handle, client = live_service
+        import http.client as hc
+
+        conn = hc.HTTPConnection(handle.host, handle.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/jobs", body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()

@@ -312,7 +312,8 @@ class TestFifoProtocolGuards:
 class TestHarnessIntegration:
     def test_trace_cli_writes_artifacts(self, tmp_path, capsys):
         from repro.harness.__main__ import main
-        rc = main(["trace", "ks", "--out", str(tmp_path)])
+        rc = main(["trace", "ks", "--out", str(tmp_path),
+                   "--store", str(tmp_path / "store")])
         assert rc == 0
         trace_path = tmp_path / "ks_cgpa-p1.trace.json"
         vcd_path = tmp_path / "ks_cgpa-p1.vcd"
