@@ -33,12 +33,12 @@ SPACE_KWARGS = dict(
 
 def _sweep(spec, processes, cache=None):
     """One grid sweep; returns (wall seconds, SweepResult)."""
-    explorer = Explorer(
+    with Explorer(
         spec, ConfigSpace(**SPACE_KWARGS), cache=cache, processes=processes
-    )
-    start = time.perf_counter()
-    sweep = explorer.run(GridStrategy())
-    return time.perf_counter() - start, sweep
+    ) as explorer:
+        start = time.perf_counter()
+        sweep = explorer.run(GridStrategy())
+        return time.perf_counter() - start, sweep
 
 
 def test_dse_speed(benchmark, results_dir, json_path, tmp_path):

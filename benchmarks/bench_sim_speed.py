@@ -22,7 +22,7 @@ import time
 from conftest import emit
 
 from repro.frontend import compile_c
-from repro.harness.runner import _setup_workload
+from repro.harness.runner import setup_workload
 from repro.hw import AcceleratorSystem, DirectMappedCache
 from repro.kernels import ALL_KERNELS
 from repro.pipeline import ReplicationPolicy, cgpa_compile
@@ -47,7 +47,7 @@ def _timed_run(spec, compiled, engine, cache_kwargs):
     """Simulate once; returns (sim-only seconds, SimReport)."""
     kwargs = dict(cache_kwargs)
     kwargs.setdefault("ports", 8)
-    memory, globals_, args = _setup_workload(compiled.module, spec)
+    memory, globals_, args = setup_workload(compiled.module, spec)
     system = AcceleratorSystem(
         compiled.module, memory,
         channels=compiled.result.channels,

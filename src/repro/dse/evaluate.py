@@ -11,7 +11,7 @@ that differ only in simulator knobs (cache organisation) reuse the same
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..errors import (
     CgpaError,
@@ -19,8 +19,9 @@ from ..errors import (
     DeadlockError,
     SimulationError,
 )
+from ..fleet import interned_workload
 from ..frontend import compile_c
-from ..harness.runner import _setup_workload, cgpa_area
+from ..harness.runner import cgpa_area
 from ..hw import AcceleratorSystem, DirectMappedCache
 from ..cost import power_report
 from ..kernels import KernelSpec
@@ -93,9 +94,12 @@ class EvalResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "EvalResult":
-        data = dict(data)
+        # Keep only known fields: cache entries written by a *newer*
+        # schema (extra keys) must load, not crash the sweep; entries
+        # written before a field existed fall back to its default.
+        known = {f.name for f in fields(cls)}
+        data = {k: v for k, v in data.items() if k in known}
         data["point"] = DesignPoint.from_dict(data["point"])
-        # Tolerate cache entries written before the field existed.
         data.setdefault("diagnosis", None)
         return cls(**data)
 
@@ -181,7 +185,9 @@ class Evaluator:
         self, point: DesignPoint, compiled: CompiledPipeline
     ) -> EvalResult:
         spec = self.spec
-        memory, globals_, args = _setup_workload(compiled.module, spec)
+        # Interned per (module, kernel): the functional setup runs once
+        # per process; each evaluation gets a bit-identical clone.
+        memory, globals_, args = interned_workload(compiled.module, spec)
         system = AcceleratorSystem(
             compiled.module,
             memory,

@@ -13,17 +13,24 @@ make that hold:
   deterministic, so every round proposes the same batch.
 
 Work is sharded by :attr:`DesignPoint.compile_key`: each pool task is
-*all* points of one compile key, so each configuration is compiled once
-per sweep and its :class:`CompiledPipeline` is reused across the
+*all* points of one compile key, and the per-process evaluator memo
+(:func:`_process_evaluator`) keeps compiled pipelines alive across
+batches and strategy rounds, so each configuration is compiled once per
+pool process and its :class:`CompiledPipeline` is reused across the
 simulator-knob variants (cache organisation) that share it.
+
+Parallelism comes from the shared :class:`~repro.fleet.FleetExecutor`
+(one reusable pool per explorer, or an externally supplied fleet),
+which also guarantees the serial path runs the *same* task function —
+the mechanism behind "byte-identical at any pool size".
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 
+from ..fleet import FleetExecutor
 from ..kernels import KernelSpec
 from .cache import ResultCache, result_key
 from .evaluate import DEFAULT_EVAL_MAX_CYCLES, EvalResult, Evaluator
@@ -71,15 +78,39 @@ class SweepResult:
         }
 
 
+#: Per-process evaluator memo: compiled pipelines survive across pool
+#: tasks, batches and sweeps that agree on (kernel, budget, engine).
+_PROCESS_EVALUATORS: dict = {}
+
+#: Evaluators kept per process before the memo is cleared (each holds
+#: compiled-pipeline memos; a handful covers a mixed workload).
+_PROCESS_EVALUATOR_ENTRIES = 8
+
+
+def _process_evaluator(
+    spec: KernelSpec, max_cycles: int, engine: str
+) -> Evaluator:
+    key = (spec.name, spec.source, max_cycles, engine)
+    evaluator = _PROCESS_EVALUATORS.get(key)
+    if evaluator is None:
+        if len(_PROCESS_EVALUATORS) >= _PROCESS_EVALUATOR_ENTRIES:
+            _PROCESS_EVALUATORS.clear()
+        evaluator = _PROCESS_EVALUATORS[key] = Evaluator(
+            spec, max_cycles=max_cycles, engine=engine
+        )
+    return evaluator
+
+
 def _evaluate_group(task) -> list[tuple[int, dict]]:
-    """Pool worker: evaluate one compile-key group with a fresh evaluator.
+    """Fleet task: evaluate one compile-key group.
 
     Takes and returns plain picklable data; ``EvalResult`` travels as its
     dict form so the parent rebuilds identical objects on any start
-    method (fork or spawn).
+    method (fork or spawn) — and the serial path round-trips through the
+    same dicts, keeping its bytes identical to any pool size.
     """
     spec, max_cycles, engine, group = task
-    evaluator = Evaluator(spec, max_cycles=max_cycles, engine=engine)
+    evaluator = _process_evaluator(spec, max_cycles, engine)
     return [(index, evaluator.evaluate(point).to_dict()) for index, point in group]
 
 
@@ -94,6 +125,7 @@ class Explorer:
         processes: int = 1,
         max_cycles: int = DEFAULT_EVAL_MAX_CYCLES,
         engine: str = "event",
+        fleet: FleetExecutor | None = None,
     ) -> None:
         self.spec = spec
         self.space = space if space is not None else ConfigSpace()
@@ -101,6 +133,28 @@ class Explorer:
         self.processes = max(1, processes)
         self.max_cycles = max_cycles
         self.engine = engine
+        # An externally supplied fleet is shared (and owned) by the
+        # caller; otherwise the explorer lazily creates its own and
+        # reuses it across every batch and run.
+        self._fleet = fleet
+        self._owns_fleet = fleet is None
+
+    @property
+    def fleet(self) -> FleetExecutor:
+        if self._fleet is None:
+            self._fleet = FleetExecutor(self.processes)
+        return self._fleet
+
+    def close(self) -> None:
+        """Release the explorer's own pool (no-op for a shared fleet)."""
+        if self._owns_fleet and self._fleet is not None:
+            self._fleet.close()
+
+    def __enter__(self) -> "Explorer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(self, strategy: Strategy) -> SweepResult:
         """Drive ``strategy`` to exhaustion and collect every result."""
@@ -165,16 +219,10 @@ class Explorer:
             (self.spec, self.max_cycles, self.engine, group)
             for group in groups.values()
         ]
-        if self.processes == 1 or len(tasks) == 1:
-            # Serial: one evaluator memoizes compilations across groups.
-            evaluator = Evaluator(
-                self.spec, max_cycles=self.max_cycles, engine=self.engine
-            )
-            return [
-                (index, evaluator.evaluate(point)) for index, point in misses
-            ]
-        with multiprocessing.Pool(min(self.processes, len(tasks))) as pool:
-            shards = pool.map(_evaluate_group, tasks)
+        # Serial and pooled runs route through the same fleet task and
+        # round-trip results through the same dict form, so reports are
+        # byte-identical at any pool size.
+        shards = self.fleet.map(_evaluate_group, tasks)
         out: list[tuple[int, EvalResult]] = []
         for shard in shards:
             out.extend(

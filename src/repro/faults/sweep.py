@@ -16,8 +16,15 @@ under ``n_plans`` seeded plans of each class
   them; silently masked flips are reported as such.
 
 Everything is deterministic given ``(kernel, seed, n_plans)``, and the
-report text is byte-identical across the two simulator engines — the
-sweep doubles as a differential test of the failure paths.
+report text is byte-identical across the simulator engines — the sweep
+doubles as a differential test of the failure paths.
+
+Plans are independent, so the sweep fans them out over the shared
+:class:`~repro.fleet.FleetExecutor` (``processes``/``fleet``): plan
+records come back in index order and the serial path runs the same
+:func:`_run_plan_task`, so the report is byte-identical at any pool
+size.  Each pool process compiles the sweep configuration once
+(:func:`_harness_for`) and stamps out interned workload images per run.
 """
 
 from __future__ import annotations
@@ -31,8 +38,8 @@ from ..errors import (
     InvariantViolationError,
     SimulationError,
 )
+from ..fleet import FleetExecutor, interned_workload
 from ..frontend import compile_c
-from ..harness.runner import _setup_workload
 from ..hw import AcceleratorSystem, DirectMappedCache
 from ..interp import Interpreter
 from ..kernels import KernelSpec
@@ -169,6 +176,117 @@ def plan_seeds(seed: int, n: int) -> list[int]:
     return [rng.randrange(1 << 32) for _ in range(n)]
 
 
+class _SweepHarness:
+    """Compiled state for one sweep configuration, built once per process.
+
+    Holds the untransformed oracle module, the pipelined compilation, and
+    the interpreter-oracle liveouts.  The oracle runs the *untransformed*
+    module: cgpa_compile rewrites the accelerated function with
+    fork/join/FIFO ops the functional interpreter does not execute.
+    """
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        engine: str,
+        n_workers: int,
+        fifo_depth: int,
+    ) -> None:
+        self.spec = spec
+        self.engine = engine
+        plain = compile_c(spec.source, spec.name)
+        optimize_module(plain)
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        self.compiled = cgpa_compile(
+            module,
+            spec.accel_function,
+            shapes=spec.shapes_for(module),
+            policy=ReplicationPolicy.P1,
+            n_workers=n_workers,
+            fifo_depth=fifo_depth,
+        )
+        # Interpreter oracle: the same workload run purely functionally.
+        # Liveouts = the final memory state (the kernel's checksum) plus
+        # the kernel's return value — kernels like ks report their result
+        # only through the latter, so corruption detection must compare
+        # both.
+        memory, globals_, args = interned_workload(plain, spec)
+        interp = Interpreter(plain, memory, global_addresses=globals_)
+        self.oracle_return = interp.call(spec.measure_entry, args)
+        self.oracle = float(interp.call(spec.check_function, []))
+
+    def fresh_system(self, injector=None, monitor=None, budget=None):
+        memory, globals_, args = interned_workload(
+            self.compiled.module, self.spec
+        )
+        system = AcceleratorSystem(
+            self.compiled.module,
+            memory,
+            channels=self.compiled.result.channels,
+            cache=DirectMappedCache(ports=8),
+            global_addresses=globals_,
+            max_cycles=budget if budget is not None else 500_000_000,
+            engine=self.engine,
+            injector=injector,
+            monitor=monitor,
+        )
+        return system, memory, globals_, args
+
+    def checksum(self, memory, globals_) -> float:
+        interp = Interpreter(
+            self.compiled.module, memory, global_addresses=globals_
+        )
+        return float(interp.call(self.spec.check_function, []))
+
+    def liveouts_match(self, sim, memory, globals_) -> bool:
+        if self.checksum(memory, globals_) != self.oracle:
+            return False
+        return (
+            sim.return_value is None
+            or sim.return_value == self.oracle_return
+        )
+
+
+#: Per-process harness memo: one compilation per sweep configuration, no
+#: matter how many plan tasks land on the process.
+_HARNESS_MEMO: dict = {}
+
+#: Harnesses kept per process before the memo is cleared.
+_HARNESS_MEMO_ENTRIES = 8
+
+
+def _harness_for(
+    spec: KernelSpec, engine: str, n_workers: int, fifo_depth: int
+) -> _SweepHarness:
+    key = (spec.name, spec.source, engine, n_workers, fifo_depth)
+    harness = _HARNESS_MEMO.get(key)
+    if harness is None:
+        if len(_HARNESS_MEMO) >= _HARNESS_MEMO_ENTRIES:
+            _HARNESS_MEMO.clear()
+        harness = _HARNESS_MEMO[key] = _SweepHarness(
+            spec, engine, n_workers, fifo_depth
+        )
+    return harness
+
+
+def _run_plan_task(task) -> FaultRunRecord:
+    """Fleet task: run one fault plan against a fresh system.
+
+    Takes plain picklable data; the per-process harness memo supplies the
+    compiled modules and oracle liveouts.
+    """
+    (spec, engine, n_workers, fifo_depth, index, plan,
+     baseline_cycles, budget, monitor_interval) = task
+    harness = _harness_for(spec, engine, n_workers, fifo_depth)
+    return _run_one(
+        index, plan, harness.fresh_system, harness.liveouts_match,
+        baseline_cycles, budget,
+        monitor_interval=monitor_interval,
+        entry=spec.measure_entry,
+    )
+
+
 def resilience_sweep(
     spec: KernelSpec,
     n_plans: int = 8,
@@ -178,63 +296,20 @@ def resilience_sweep(
     fifo_depth: int = 16,
     max_cycles: int | None = None,
     monitor_interval: int | None = None,
+    processes: int = 1,
+    fleet: FleetExecutor | None = None,
 ) -> ResilienceReport:
-    """Run the full resilience sweep for one kernel."""
-    # The oracle runs the *untransformed* module: cgpa_compile rewrites
-    # the accelerated function with fork/join/FIFO ops the functional
-    # interpreter does not execute.
-    plain = compile_c(spec.source, spec.name)
-    optimize_module(plain)
-    module = compile_c(spec.source, spec.name)
-    optimize_module(module)
-    compiled = cgpa_compile(
-        module,
-        spec.accel_function,
-        shapes=spec.shapes_for(module),
-        policy=ReplicationPolicy.P1,
-        n_workers=n_workers,
-        fifo_depth=fifo_depth,
-    )
+    """Run the full resilience sweep for one kernel.
 
-    def fresh_system(injector=None, monitor=None, budget=None):
-        memory, globals_, args = _setup_workload(compiled.module, spec)
-        system = AcceleratorSystem(
-            compiled.module,
-            memory,
-            channels=compiled.result.channels,
-            cache=DirectMappedCache(ports=8),
-            global_addresses=globals_,
-            max_cycles=budget if budget is not None else 500_000_000,
-            engine=engine,
-            injector=injector,
-            monitor=monitor,
-        )
-        return system, memory, globals_, args
-
-    def checksum(memory, globals_):
-        interp = Interpreter(
-            compiled.module, memory, global_addresses=globals_
-        )
-        return float(interp.call(spec.check_function, []))
-
-    # Interpreter oracle: the same workload run purely functionally.
-    # Liveouts = the final memory state (the kernel's checksum) plus the
-    # kernel's return value — kernels like ks report their result only
-    # through the latter, so corruption detection must compare both.
-    memory, globals_, args = _setup_workload(plain, spec)
-    interp = Interpreter(plain, memory, global_addresses=globals_)
-    oracle_return = interp.call(spec.measure_entry, args)
-    oracle = float(interp.call(spec.check_function, []))
-
-    def liveouts_match(sim, memory, globals_):
-        if checksum(memory, globals_) != oracle:
-            return False
-        return sim.return_value is None or sim.return_value == oracle_return
+    ``processes``/``fleet`` fan the per-plan runs out over the shared
+    fleet executor; the report is byte-identical at any pool size.
+    """
+    harness = _harness_for(spec, engine, n_workers, fifo_depth)
 
     # Fault-free hardware baseline (also the plan generator's context).
-    system, memory, globals_, args = fresh_system()
+    system, memory, globals_, args = harness.fresh_system()
     baseline = system.run(spec.measure_entry, args)
-    if not liveouts_match(baseline, memory, globals_):
+    if not harness.liveouts_match(baseline, memory, globals_):
         raise SimulationError(
             f"{spec.name}: fault-free hardware run disagrees with the "
             f"interpreter oracle; refusing to measure resilience"
@@ -253,23 +328,28 @@ def resilience_sweep(
         seed=seed,
         n_plans=n_plans,
         baseline_cycles=baseline.cycles,
-        oracle_checksum=oracle,
-        oracle_return=oracle_return,
+        oracle_checksum=harness.oracle,
+        oracle_return=harness.oracle_return,
     )
     seeds = plan_seeds(seed, n_plans * len(PLAN_KINDS))
+    tasks = []
     index = 0
     for kind in PLAN_KINDS:
         for _ in range(n_plans):
             plan = FaultPlan.generate(seeds[index], kind, ctx)
-            report.records.append(
-                _run_one(
-                    index, plan, fresh_system, liveouts_match,
-                    baseline.cycles, budget,
-                    monitor_interval=monitor_interval,
-                    entry=spec.measure_entry,
-                )
-            )
+            tasks.append((
+                spec, engine, n_workers, fifo_depth, index, plan,
+                baseline.cycles, budget, monitor_interval,
+            ))
             index += 1
+    owned = fleet is None
+    if owned:
+        fleet = FleetExecutor(processes)
+    try:
+        report.records.extend(fleet.map(_run_plan_task, tasks))
+    finally:
+        if owned:
+            fleet.close()
     return report
 
 

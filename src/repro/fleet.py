@@ -1,0 +1,131 @@
+"""One shared process-pool executor for every parallel fan-out.
+
+Before this module each parallel consumer owned its own machinery:
+:mod:`repro.dse.explore` created a fresh ``multiprocessing.Pool`` per
+evaluation batch (paying process startup for every strategy round),
+fault sweeps ran strictly serially, and the service job queue only knew
+about threads.  :class:`FleetExecutor` is the one reusable executor they
+all share:
+
+* **ordered map** — ``map(fn, tasks)`` always returns results in task
+  order, so every consumer's determinism contract (byte-identical
+  reports at any pool size) holds by construction;
+* **serial == pool** — at ``processes=1`` the *same* task function runs
+  inline in the parent, so the serial path and the pool path execute
+  identical code and produce identical bytes;
+* **reusable** — the underlying ``ProcessPoolExecutor`` is created
+  lazily and kept across ``map`` calls, so per-process caches (compiled
+  pipelines, interned workload images) amortize across batches, sweep
+  rounds and queue jobs;
+* **futures bridge** — :attr:`futures_pool` exposes the pool as a
+  ``concurrent.futures.Executor`` for ``loop.run_in_executor`` (the
+  service job queue's integration point).
+
+Task functions must be module-level (picklable) and should memoize their
+heavy state in module globals keyed by task parameters — each pool
+process then compiles a kernel once, no matter how many tasks land on
+it.  :func:`interned_workload` is the shared half of that pattern: it
+runs a kernel's functional setup once per ``(module, kernel)`` per
+process and stamps out :meth:`~repro.interp.memory.Memory.clone`\\ s,
+so simulations pay for a memory image copy instead of re-interpreting
+the setup function.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from .harness.runner import setup_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interp.memory import Memory
+    from .kernels import KernelSpec
+
+#: Interned post-setup workload images, per process:
+#: ``(id(module), kernel, setup_args) -> (module, memory, globals,
+#: args)``.  The module object is kept in the value so its id stays
+#: valid for the memo's lifetime; setup_args is in the key because two
+#: specs may share a module but build different-scale workloads.
+_WORKLOAD_MEMO: dict = {}
+
+#: Entries kept before the workload memo is dropped wholesale (each
+#: pristine image is a full memory copy, so the cap bounds resident
+#: bytes, not correctness).
+_WORKLOAD_MEMO_ENTRIES = 32
+
+
+def interned_workload(module, spec: "KernelSpec"):
+    """``setup_workload`` through a per-process image cache.
+
+    Returns ``(memory, globals, args)`` exactly like
+    :func:`repro.harness.runner.setup_workload`, but the functional
+    setup runs only once per ``(module, kernel)`` in this process; every
+    call gets a fresh :meth:`~repro.interp.memory.Memory.clone` of the
+    pristine image (bit-identical to a fresh setup, including the
+    allocator break and access counters).
+    """
+    key = (id(module), spec.name, tuple(spec.setup_args))
+    entry = _WORKLOAD_MEMO.get(key)
+    if entry is None:
+        if len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_ENTRIES:
+            _WORKLOAD_MEMO.clear()
+        memory, globals_, args = setup_workload(module, spec)
+        entry = _WORKLOAD_MEMO[key] = (module, memory, globals_, args)
+    _, memory, globals_, args = entry
+    return memory.clone(), dict(globals_), list(args)
+
+
+class FleetExecutor:
+    """A reusable, order-preserving process-pool executor.
+
+    ``processes=1`` (the default) never spawns anything: tasks run
+    inline, in submission order, through the same task functions the
+    pool would use.  ``processes>1`` lazily creates one
+    ``ProcessPoolExecutor`` and reuses it for every subsequent ``map``
+    until :meth:`close`.
+    """
+
+    def __init__(self, processes: int = 1) -> None:
+        self.processes = max(1, int(processes))
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def serial(self) -> bool:
+        return self.processes == 1
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.processes)
+        return self._pool
+
+    @property
+    def futures_pool(self) -> Executor:
+        """The underlying ``concurrent.futures`` executor (created on
+        first use), for APIs that take an Executor — e.g.
+        ``loop.run_in_executor`` in the service job queue."""
+        return self._ensure_pool()
+
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        """Apply ``fn`` to every task; results in task order.
+
+        A single task (or a serial executor) runs inline — identical
+        code path, identical bytes, no process round-trip.
+        """
+        tasks = list(tasks)
+        if self.serial or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the executor stays usable —
+        the next ``map`` recreates the pool)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "FleetExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -171,7 +171,7 @@ def dse_main(argv: list[str]) -> int:
         "recorded as status=timeout (default: 50M)",
     )
     parser.add_argument(
-        "--engine", default="event", choices=["event", "lockstep"],
+        "--engine", default="event", choices=["event", "lockstep", "specialized"],
         help="simulator clock loop (default: event)",
     )
     parser.add_argument(
@@ -238,7 +238,10 @@ def dse_main(argv: list[str]) -> int:
     )
     print(f"Exploring {space.size}-point space for {spec.name} "
           f"({args.strategy} strategy, {args.processes} process(es))...")
-    sweep = explorer.run(strategy)
+    try:
+        sweep = explorer.run(strategy)
+    finally:
+        explorer.close()
 
     from ..service.contracts import JobRequest
 
@@ -295,7 +298,7 @@ def faults_main(argv: list[str]) -> int:
         help="master seed deriving every plan's schedule (default: 0)",
     )
     parser.add_argument(
-        "--engine", default="event", choices=["event", "lockstep"],
+        "--engine", default="event", choices=["event", "lockstep", "specialized"],
         help="simulator clock loop (default: event); the report is "
         "byte-identical under either",
     )
@@ -311,6 +314,11 @@ def faults_main(argv: list[str]) -> int:
         "--max-cycles", type=_positive_int, default=None,
         help="per-plan simulated-cycle budget (default: 64x the fault-free "
         "baseline); exceeding it records the plan as outcome=timeout",
+    )
+    parser.add_argument(
+        "--processes", type=_positive_int, default=1,
+        help="pool size for parallel plan execution (default: 1); the "
+        "report is byte-identical at any pool size",
     )
     parser.add_argument(
         "--json", type=pathlib.Path, default=None, metavar="PATH",
@@ -331,6 +339,7 @@ def faults_main(argv: list[str]) -> int:
         n_workers=args.workers,
         fifo_depth=args.fifo_depth,
         max_cycles=args.max_cycles,
+        processes=args.processes,
     )
     print(report.format())
 
@@ -460,7 +469,7 @@ def trace_main(argv: list[str]) -> int:
     )
     _add_store_argument(parser)
     parser.add_argument(
-        "--engine", default="event", choices=["event", "lockstep"],
+        "--engine", default="event", choices=["event", "lockstep", "specialized"],
         help="simulator clock loop: event-driven skip-ahead (default) or "
         "the tick-every-cycle lockstep oracle; cycle counts are identical",
     )
@@ -550,6 +559,12 @@ def serve_main(argv: list[str]) -> int:
         "--workers", type=_positive_int, default=2,
         help="job worker threads draining the queue (default: 2)",
     )
+    parser.add_argument(
+        "--processes", type=_positive_int, default=1,
+        help="fleet pool processes executing jobs (default: 1 = run jobs "
+        "on the worker threads); >1 sidesteps the GIL for simulation-"
+        "bound workloads",
+    )
     _add_store_argument(parser)
     parser.add_argument(
         "--lru-entries", type=int, default=512,
@@ -572,6 +587,7 @@ def serve_main(argv: list[str]) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        processes=args.processes,
         store_root=str(args.store),
         lru_entries=args.lru_entries,
         rate_capacity=args.burst,
@@ -630,7 +646,7 @@ def _dispatch(argv: list[str]) -> int:
         help="parallel-stage worker count (paper default: 4)",
     )
     parser.add_argument(
-        "--engine", default="event", choices=["event", "lockstep"],
+        "--engine", default="event", choices=["event", "lockstep", "specialized"],
         help="simulator clock loop: event-driven skip-ahead (default) or "
         "the tick-every-cycle lockstep oracle; cycle counts are identical",
     )

@@ -418,7 +418,7 @@ def memory_system_ablation(
     from ..hw import AcceleratorSystem, DirectMappedCache
     from ..pipeline import ReplicationPolicy, cgpa_compile
     from ..transforms import optimize_module
-    from .runner import _setup_workload
+    from .runner import setup_workload
 
     points = []
     for n_workers in worker_counts:
@@ -429,7 +429,7 @@ def memory_system_ablation(
                 module, spec.accel_function, shapes=spec.shapes_for(module),
                 policy=ReplicationPolicy.P1, n_workers=n_workers,
             )
-            memory, globals_, args = _setup_workload(compiled.module, spec)
+            memory, globals_, args = setup_workload(compiled.module, spec)
             system = AcceleratorSystem(
                 compiled.module, memory,
                 channels=compiled.result.channels,

@@ -117,8 +117,14 @@ def _close(a, b, rel=1e-9) -> bool:
     return a == b
 
 
-def _setup_workload(module, spec: KernelSpec):
-    """Run the kernel's setup functionally; returns (memory, globals, args)."""
+def setup_workload(module, spec: KernelSpec):
+    """Run the kernel's setup functionally; returns (memory, globals, args).
+
+    Public API: the DSE evaluator, the fault sweeps, the fleet executor
+    and the benchmarks all build their workload images through this one
+    function (the :mod:`repro.fleet` executor additionally memoizes and
+    clones the result so each process pays for setup once per kernel).
+    """
     interp = Interpreter(module)
     interp.call(spec.setup_function, list(spec.setup_args))
     kargs_addr = interp.global_addresses[KARGS_GLOBAL]
@@ -127,6 +133,11 @@ def _setup_workload(module, spec: KernelSpec):
         for i in range(spec.n_kernel_args)
     ]
     return interp.memory, interp.global_addresses, args
+
+
+#: Deprecated alias (pre-public name); importers should use
+#: :func:`setup_workload`.
+_setup_workload = setup_workload
 
 
 def _checksum(module, memory, global_addresses, spec: KernelSpec) -> float:
@@ -162,7 +173,7 @@ def run_backend(
     if backend == "mips":
         module = compile_c(spec.source, spec.name)
         optimize_module(module)
-        memory, globals_, args = _setup_workload(module, spec)
+        memory, globals_, args = setup_workload(module, spec)
         mips = run_on_mips(
             module, spec.measure_entry, args, memory,
             cache=DirectMappedCache(**cache_kwargs),
@@ -180,7 +191,7 @@ def run_backend(
     if backend == "legup":
         module = compile_c(spec.source, spec.name)
         optimize_module(module)
-        memory, globals_, args = _setup_workload(module, spec)
+        memory, globals_, args = setup_workload(module, spec)
         cache_kwargs.setdefault("ports", 8)
         system_kwargs = {}
         if max_cycles is not None:
@@ -225,7 +236,7 @@ def run_backend(
             n_workers=n_workers,
             fifo_depth=fifo_depth,
         )
-        memory, globals_, args = _setup_workload(compiled.module, spec)
+        memory, globals_, args = setup_workload(compiled.module, spec)
         cache_kwargs.setdefault("ports", 8)
         system_kwargs = {}
         if max_cycles is not None:

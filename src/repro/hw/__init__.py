@@ -5,6 +5,7 @@ from .cache import CacheStats, DirectMappedCache
 from .engine import EventScheduler
 from .fifo import FifoBuffer, FifoStats
 from .mips_core import MipsResult, run_on_mips
+from .specialize import SpecializedProgram, SpecializedWorker, specialized_for
 from .system import ENGINES, AcceleratorSystem, SimReport
 from .worker import HwWorker, WorkerStats
 
@@ -13,6 +14,7 @@ __all__ = [
     "FifoBuffer", "FifoStats",
     "AcceleratorSystem", "SimReport", "ENGINES", "EventScheduler",
     "HwWorker", "WorkerStats",
+    "SpecializedProgram", "SpecializedWorker", "specialized_for",
     "run_on_mips", "MipsResult",
     "TraceSink", "NullSink", "NULL_SINK", "MemoryTraceSink",
 ]

@@ -173,7 +173,14 @@ class EventScheduler:
         next_check = monitor.interval if monitor is not None else 0
         cycle = 0
         while not main.done:
-            cycle = min(w.next_due for w in workers)
+            # Manual min loop: a genexpr resumes one generator frame per
+            # worker, which dominates the clock-advance cost on small
+            # systems; this runs every simulated cycle.
+            cycle = NEVER
+            for w in workers:
+                due = w.next_due
+                if due < cycle:
+                    cycle = due
             if cycle >= NEVER:
                 # self._cycle is the last simulated cycle — the one at
                 # which the final worker blocked, which is exactly where
@@ -185,7 +192,10 @@ class EventScheduler:
                 # grinding through the remaining cycles.
                 raise WATCHDOG.budget_exceeded(system, cycle)
             self._cycle = cycle
-            for worker in list(workers):
+            # Iterating the live list is safe: forks only append, and a
+            # freshly forked worker's next_due (start_cycle = cycle + 1)
+            # can never pass the due check within the forking cycle.
+            for worker in workers:
                 if worker.next_due <= cycle:
                     self._active_seq = worker.seq
                     if worker.synced_until < cycle:

@@ -1,0 +1,1165 @@
+"""Worker-FSM specialization: compile schedules into Python closures.
+
+The base :class:`~repro.hw.worker.HwWorker` interprets ``Instruction``
+objects on every tick: a long ``isinstance`` dispatch chain, an
+``id()``-keyed environment dict per operand, and a per-block-entry rebuild
+of the schedule's state table.  All of that is loop-invariant — the FSM,
+the operand routing and the dispatch targets are fixed the moment the
+pipeline is compiled — so ``engine="specialized"`` resolves it once per
+function:
+
+* every FSM state becomes a flat list of *step closures*; the per-opcode
+  dispatch happens here, at build time, never on the hot path;
+* every SSA value gets a slot in a flat ``regs`` list (constants are baked
+  into the closures, globals are filled in at frame construction);
+* the ``eval_binop``-family semantics are bound directly into the
+  closures (same functions, same error messages, same rounding);
+* branch edges pre-resolve the target's phi moves, so a taken edge is a
+  batch of register copies instead of a phi walk.
+
+Everything observable is kept **bit-identical** to the event engine:
+``WorkerStats`` (including the exact ``ops_executed`` increment/decrement
+order for blocked FIFO and join ops), stall attribution, telemetry
+spans/states, fault-injection hooks (hang probe, back-pressure window,
+block-transition marking) and the watchdog's wait-for-graph attributes
+(``_frames[*].function``, ``_blocked_fifo``/``_blocked_index``/
+``_blocked_loop``, ``last_category``).  The differential suite in
+``tests/test_specialized_engine.py`` pins this against both oracles.
+
+The clock loop is unchanged: a specialized system runs under the same
+:class:`~repro.hw.engine.EventScheduler` as ``engine="event"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import InterpError, SimulationError
+from ..interp.interpreter import MALLOC_NAMES
+from ..interp.memory import round_f32, to_unsigned, wrap_int
+from ..interp.ops import eval_cast, eval_gep
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    FCMP_FUNCS,
+    FLOAT_BINOP_FUNCS,
+    GEP,
+    ICMP_FUNCS,
+    INT_BINOP_FUNCS,
+    Alloca,
+    BinaryOp,
+    Call,
+    Cast,
+    CondBranch,
+    Consume,
+    FCmp,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    ParallelFork,
+    ParallelJoin,
+    Phi,
+    Produce,
+    ProduceBroadcast,
+    Ret,
+    RetrieveLiveout,
+    Select,
+    Store,
+    StoreLiveout,
+)
+from ..ir.types import ArrayType, FloatType, StructType
+from ..ir.values import Constant, GlobalVariable
+from ..rtl.schedule import FunctionSchedule, schedule_function
+from ..telemetry.events import CycleCategory
+from .worker import NEVER, HwWorker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import AcceleratorSystem
+
+# Step outcomes (compared with ``is`` in the tick loop; module-level
+# constants so every closure returns the same interned object).
+_OK = "ok"
+_WAIT_MEM = "wait_mem"
+_WAIT_FULL = "wait_full"
+_WAIT_EMPTY = "wait_empty"
+_WAIT_JOIN = "wait_join"
+_CALL = "call"
+_RET = "ret"
+_BRANCH = "branch"
+
+#: Opcodes whose int-binop operands are reinterpreted as unsigned
+#: (mirrors :func:`repro.interp.ops.eval_binop` exactly).
+_UNSIGNED_BINOPS = ("udiv", "urem", "lshr", "ult")
+
+#: Instruction classes whose steps touch only the frame's registers.
+_PURE_OPS = (BinaryOp, ICmp, FCmp, GEP, Cast, Select, Phi)
+
+
+class SpecBlock:
+    """One basic block compiled to per-state step-closure lists.
+
+    ``states[s]`` holds the step closures issued in FSM state ``s`` and
+    ``probes[s]`` the aligned side-effect-free would-block probes (None
+    for ops that can never stall).  ``entry_cursor`` is the number of
+    leading phi steps in state 0, skipped when the block is entered via a
+    branch edge (the edge already latched the phi registers).
+    """
+
+    __slots__ = ("label", "trace_label", "n_states", "states", "probes",
+                 "pure", "entry_cursor")
+
+    def __init__(self, label: str, trace_label: str, n_states: int) -> None:
+        self.label = label
+        self.trace_label = trace_label
+        self.n_states = n_states
+        self.states: list[list] = []
+        self.probes: list[list] = []
+        #: ``pure[s]`` — every op in state ``s`` reads/writes only the
+        #: frame's private register file (no memory, FIFO, liveout, fork,
+        #: join, call or control flow).  A run of pure states can be
+        #: executed in one tick and attributed as a batch of COMPUTE
+        #: cycles: nothing in it is observable by any other worker.
+        self.pure: list[bool] = []
+        self.entry_cursor = 0
+
+
+class SpecFrame:
+    """Activation record of a specialized function: a flat register file."""
+
+    __slots__ = ("function", "program", "block", "state", "cursor", "steps",
+                 "regs", "ret_slot")
+
+    def __init__(
+        self,
+        program: "SpecializedProgram",
+        system: "AcceleratorSystem",
+        ret_slot: int | None = None,
+    ) -> None:
+        self.function = program.function
+        self.program = program
+        entry = program.entry
+        self.block = entry
+        self.state = 0
+        self.cursor = 0
+        self.steps = entry.states[0]
+        regs: list = [None] * program.n_slots
+        if program.global_slots:
+            addresses = system.global_addresses
+            for name, slot in program.global_slots:
+                regs[slot] = addresses[name]
+        self.regs = regs
+        self.ret_slot = ret_slot
+
+
+class SpecializedProgram:
+    """One function's FSM schedule compiled into closures (shared by all
+    workers and systems running that function)."""
+
+    def __init__(self, function: Function, schedule: FunctionSchedule) -> None:
+        self.function = function
+        self._slots: dict[int, int] = {}  # id(arg/inst) -> register slot
+        self._globals: dict[str, int] = {}  # global name -> register slot
+        self.n_slots = 0
+        self._blocks: dict[int, SpecBlock] = {}
+        for arg in function.args:
+            self._slots[id(arg)] = self._alloc()
+        for block in function.blocks:
+            for inst in block.instructions:
+                self._slots[id(inst)] = self._alloc()
+        for block in function.blocks:
+            bs = schedule.block_schedule(block)
+            self._blocks[id(block)] = SpecBlock(
+                block.short_name(),
+                f"{function.name}:{block.short_name()}",
+                bs.n_states,
+            )
+        self.entry = self._blocks[id(function.entry)]
+        for block in function.blocks:
+            self._compile_block(block, schedule.block_schedule(block))
+        #: (name, slot) pairs for frame construction, deterministic order.
+        self.global_slots = sorted(self._globals.items())
+
+    # -- slot plumbing ------------------------------------------------------
+
+    def _alloc(self) -> int:
+        slot = self.n_slots
+        self.n_slots += 1
+        return slot
+
+    def slot_of(self, value) -> int:
+        return self._slots[id(value)]
+
+    def _bind(self, value) -> tuple[int, int | float | None]:
+        """Operand descriptor ``(slot, const)``: closures read
+        ``regs[slot]`` when ``slot >= 0``, else the baked constant."""
+        if isinstance(value, Constant):
+            return -1, value.value
+        if isinstance(value, GlobalVariable):
+            slot = self._globals.get(value.name)
+            if slot is None:
+                slot = self._globals[value.name] = self._alloc()
+            return slot, None
+        return self._slots[id(value)], None
+
+    # -- block compilation --------------------------------------------------
+
+    def _compile_block(self, block: BasicBlock, bs) -> None:
+        sb = self._blocks[id(block)]
+        table = bs.states  # built once, at specialize time
+        for state_ops in table:
+            steps: list = []
+            probes: list = []
+            for inst in state_ops:
+                step, probe = self._compile_inst(inst, block)
+                steps.append(step)
+                probes.append(probe)
+            sb.states.append(steps)
+            sb.probes.append(probes)
+            sb.pure.append(
+                all(isinstance(inst, _PURE_OPS) for inst in state_ops)
+            )
+        # Leading phis of state 0 are latched by the incoming edge; a
+        # branch entry starts past them (function entry executes them as
+        # no-op steps, matching the interpreted worker's cursor rule).
+        ops0 = table[0] if table else []
+        skip = 0
+        while skip < len(ops0) and isinstance(ops0[skip], Phi):
+            skip += 1
+        sb.entry_cursor = skip
+
+    def _compile_edge(self, from_block: BasicBlock, target: BasicBlock):
+        """Closure applying one CFG edge: latch the target's phis from
+        this edge's incoming values (fetched atomically, before any phi
+        register is overwritten), then enter the target block."""
+        sb = self._blocks[id(target)]
+        phis = target.phis()
+        binds = [self._bind(phi.incoming_for(from_block)) for phi in phis]
+        slots = [self._slots[id(phi)] for phi in phis]
+        n_phis = len(phis)
+
+        def edge(worker: HwWorker, frame: SpecFrame) -> None:
+            regs = frame.regs
+            if n_phis:
+                values = [regs[s] if s >= 0 else c for s, c in binds]
+                for slot, value in zip(slots, values):
+                    regs[slot] = value
+                worker.stats.ops_executed["phi"] += n_phis
+            frame.block = sb
+            frame.state = 0
+            frame.steps = sb.states[0]
+            frame.cursor = sb.entry_cursor
+
+        return edge
+
+    # -- instruction compilation --------------------------------------------
+
+    def _compile_inst(self, inst: Instruction, block: BasicBlock):
+        """Return ``(step, probe)`` closures for one scheduled op."""
+        opcode = inst.opcode
+        if isinstance(inst, BinaryOp):
+            return self._compile_binop(inst), None
+        if isinstance(inst, ICmp):
+            return self._compile_icmp(inst), None
+        if isinstance(inst, FCmp):
+            dst = self._slots[id(inst)]
+            ia, ca = self._bind(inst.lhs)
+            ib, cb = self._bind(inst.rhs)
+            fn = FCMP_FUNCS[inst.pred]
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                a = regs[ia] if ia >= 0 else ca
+                b = regs[ib] if ib >= 0 else cb
+                regs[dst] = int(fn(a, b))
+                return _OK
+
+            return step, None
+        if isinstance(inst, GEP):
+            return self._compile_gep(inst), None
+        if isinstance(inst, Cast):
+            return self._compile_cast(inst), None
+        if isinstance(inst, Select):
+            dst = self._slots[id(inst)]
+            ic, cc = self._bind(inst.operands[0])
+            it, ct = self._bind(inst.operands[1])
+            if_, cf = self._bind(inst.operands[2])
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                c = regs[ic] if ic >= 0 else cc
+                t = regs[it] if it >= 0 else ct
+                f = regs[if_] if if_ >= 0 else cf
+                regs[dst] = t if c else f
+                return _OK
+
+            return step, None
+        if isinstance(inst, Load):
+            return self._compile_load(inst), None
+        if isinstance(inst, Store):
+            return self._compile_store(inst), None
+        if isinstance(inst, Produce):
+            return self._compile_produce(inst)
+        if isinstance(inst, ProduceBroadcast):
+            return self._compile_produce_broadcast(inst)
+        if isinstance(inst, Consume):
+            return self._compile_consume(inst)
+        if isinstance(inst, StoreLiveout):
+            lid = inst.liveout_id
+            iv, cv = self._bind(inst.value)
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                worker.system.liveout_regs[lid] = regs[iv] if iv >= 0 else cv
+                return _OK
+
+            return step, None
+        if isinstance(inst, RetrieveLiveout):
+            lid = inst.liveout_id
+            dst = self._slots[id(inst)]
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                liveouts = worker.system.liveout_regs
+                if lid not in liveouts:
+                    raise SimulationError(f"liveout #{lid} never stored")
+                frame.regs[dst] = liveouts[lid]
+                return _OK
+
+            return step, None
+        if isinstance(inst, ParallelFork):
+            binds = [self._bind(v) for v in inst.liveins]
+
+            def step(worker, frame, cycle, inst=inst):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                liveins = [regs[s] if s >= 0 else c for s, c in binds]
+                worker.system.fork_worker(inst, liveins, cycle)
+                return _OK
+
+            return step, None
+        if isinstance(inst, ParallelJoin):
+            return self._compile_join(inst)
+        if isinstance(inst, Call):
+            return self._compile_call(inst), None
+        if isinstance(inst, Ret):
+            return self._compile_ret(inst), None
+        if isinstance(inst, Jump):
+            edge = self._compile_edge(block, inst.target)
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                edge(worker, frame)
+                return _BRANCH
+
+            return step, None
+        if isinstance(inst, CondBranch):
+            ic, cc = self._bind(inst.cond)
+            edge_true = self._compile_edge(block, inst.if_true)
+            edge_false = self._compile_edge(block, inst.if_false)
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                cond = frame.regs[ic] if ic >= 0 else cc
+                (edge_true if cond else edge_false)(worker, frame)
+                return _BRANCH
+
+            return step, None
+        if isinstance(inst, Alloca):
+            dst = self._slots[id(inst)]
+            atype = inst.allocated_type
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                frame.regs[dst] = worker.system.memory.alloc_object(
+                    atype, site=-2
+                )
+                return _OK
+
+            return step, None
+        if isinstance(inst, Phi):
+            # Only reached when a frame starts at the function entry (the
+            # branch-entry cursor skips latched phis): count and move on,
+            # exactly like the interpreted worker's phi case.
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                return _OK
+
+            return step, None
+
+        def step(worker, frame, cycle):  # pragma: no cover - malformed IR
+            worker.stats.ops_executed[opcode] += 1
+            raise SimulationError(f"worker cannot execute opcode {opcode}")
+
+        return step, None
+
+    def _compile_binop(self, inst: BinaryOp):
+        dst = self._slots[id(inst)]
+        opcode = inst.opcode
+        ia, ca = self._bind(inst.lhs)
+        ib, cb = self._bind(inst.rhs)
+        if opcode in FLOAT_BINOP_FUNCS:
+            fn = FLOAT_BINOP_FUNCS[opcode]
+            narrow = isinstance(inst.type, FloatType) and inst.type.bits == 32
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                a = regs[ia] if ia >= 0 else ca
+                b = regs[ib] if ib >= 0 else cb
+                try:
+                    result = fn(a, b)
+                except ZeroDivisionError:
+                    raise InterpError("float division by zero") from None
+                regs[dst] = round_f32(result) if narrow else result
+                return _OK
+
+            return step
+        bits = inst.type.bits  # type: ignore[union-attr]
+        fn = INT_BINOP_FUNCS[opcode]
+        if opcode in _UNSIGNED_BINOPS:
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                a = to_unsigned(int(regs[ia] if ia >= 0 else ca), bits)
+                b = to_unsigned(int(regs[ib] if ib >= 0 else cb), bits)
+                try:
+                    raw = fn(a, b)
+                except ZeroDivisionError:
+                    raise InterpError("integer division by zero") from None
+                regs[dst] = wrap_int(raw, bits)
+                return _OK
+
+            return step
+
+        def step(worker, frame, cycle):
+            worker.stats.ops_executed[opcode] += 1
+            regs = frame.regs
+            a = regs[ia] if ia >= 0 else ca
+            b = regs[ib] if ib >= 0 else cb
+            try:
+                raw = fn(int(a), int(b))
+            except ZeroDivisionError:
+                raise InterpError("integer division by zero") from None
+            regs[dst] = wrap_int(raw, bits)
+            return _OK
+
+        return step
+
+    def _compile_icmp(self, inst: ICmp):
+        dst = self._slots[id(inst)]
+        opcode = inst.opcode
+        ia, ca = self._bind(inst.lhs)
+        ib, cb = self._bind(inst.rhs)
+        fn = ICMP_FUNCS[inst.pred]
+        if inst.pred.startswith("u") or inst.lhs.type.is_pointer:
+            bits = 32 if inst.lhs.type.is_pointer else inst.lhs.type.bits
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                a = to_unsigned(int(regs[ia] if ia >= 0 else ca), bits)
+                b = to_unsigned(int(regs[ib] if ib >= 0 else cb), bits)
+                regs[dst] = int(fn(a, b))
+                return _OK
+
+            return step
+
+        def step(worker, frame, cycle):
+            worker.stats.ops_executed[opcode] += 1
+            regs = frame.regs
+            a = regs[ia] if ia >= 0 else ca
+            b = regs[ib] if ib >= 0 else cb
+            regs[dst] = int(fn(a, b))
+            return _OK
+
+        return step
+
+    def _compile_gep(self, inst: GEP):
+        dst = self._slots[id(inst)]
+        opcode = inst.opcode
+        ibase, cbase = self._bind(inst.base)
+        binds = [self._bind(i) for i in inst.indices]
+        # Reduce the address computation to ``base + const + Σ coef·idx``
+        # by walking the pointee type at specialize time (struct field
+        # offsets need constant indices — the frontend only emits those).
+        pointee = inst.base.type.pointee  # type: ignore[union-attr]
+        terms: list[tuple[int, tuple[int, object]]] = [(pointee.size(), binds[0])]
+        const_off = 0
+        current = pointee
+        static = True
+        for bind, _idx in zip(binds[1:], inst.indices[1:]):
+            if isinstance(current, StructType):
+                slot, const = bind
+                if slot >= 0:
+                    static = False
+                    break
+                field = int(const)  # type: ignore[arg-type]
+                const_off += current.field_offset(field)
+                current = current.field_type(field)
+            elif isinstance(current, ArrayType):
+                terms.append((current.element.size(), bind))
+                current = current.element
+            else:
+                static = False
+                break
+        if static:
+            live: list[tuple[int, int]] = []
+            for coef, (slot, const) in terms:
+                if slot < 0:
+                    const_off += coef * int(const)  # type: ignore[arg-type]
+                else:
+                    live.append((coef, slot))
+            if len(live) == 1:
+                coef0, s0 = live[0]
+
+                def step(worker, frame, cycle):
+                    worker.stats.ops_executed[opcode] += 1
+                    regs = frame.regs
+                    base = regs[ibase] if ibase >= 0 else cbase
+                    regs[dst] = (
+                        int(base) + coef0 * int(regs[s0]) + const_off
+                    ) & 0xFFFFFFFF
+                    return _OK
+
+                return step
+            if len(live) == 2:
+                coef0, s0 = live[0]
+                coef1, s1 = live[1]
+
+                def step(worker, frame, cycle):
+                    worker.stats.ops_executed[opcode] += 1
+                    regs = frame.regs
+                    base = regs[ibase] if ibase >= 0 else cbase
+                    regs[dst] = (
+                        int(base)
+                        + coef0 * int(regs[s0])
+                        + coef1 * int(regs[s1])
+                        + const_off
+                    ) & 0xFFFFFFFF
+                    return _OK
+
+                return step
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                addr = int(regs[ibase] if ibase >= 0 else cbase) + const_off
+                for coef, slot in live:
+                    addr += coef * int(regs[slot])
+                regs[dst] = addr & 0xFFFFFFFF
+                return _OK
+
+            return step
+
+        def step(worker, frame, cycle, inst=inst):
+            worker.stats.ops_executed[opcode] += 1
+            regs = frame.regs
+            base = regs[ibase] if ibase >= 0 else cbase
+            idx = [regs[s] if s >= 0 else c for s, c in binds]
+            regs[dst] = eval_gep(inst, base, idx)
+            return _OK
+
+        return step
+
+    def _compile_cast(self, inst: Cast):
+        dst = self._slots[id(inst)]
+        opcode = inst.opcode
+        iv, cv = self._bind(inst.value)
+        if opcode in ("trunc", "fptosi"):
+            bits = inst.type.bits  # type: ignore[union-attr]
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                regs[dst] = wrap_int(int(regs[iv] if iv >= 0 else cv), bits)
+                return _OK
+
+            return step
+        if opcode == "zext":
+            src_bits = inst.value.type.bits  # type: ignore[union-attr]
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                regs[dst] = to_unsigned(
+                    int(regs[iv] if iv >= 0 else cv), src_bits
+                )
+                return _OK
+
+            return step
+        if opcode == "sext":
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                regs = frame.regs
+                regs[dst] = int(regs[iv] if iv >= 0 else cv)
+                return _OK
+
+            return step
+
+        def step(worker, frame, cycle, inst=inst):
+            worker.stats.ops_executed[opcode] += 1
+            regs = frame.regs
+            regs[dst] = eval_cast(inst, regs[iv] if iv >= 0 else cv)
+            return _OK
+
+        return step
+
+    def _compile_load(self, inst: Load):
+        dst = self._slots[id(inst)]
+        opcode = inst.opcode
+        ip, cp = self._bind(inst.pointer)
+        type_ = inst.type
+
+        def complete(worker, frame, addr):
+            frame.regs[dst] = worker.system.memory.load(addr, type_)
+
+        def step(worker, frame, cycle):
+            worker.stats.ops_executed[opcode] += 1
+            regs = frame.regs
+            addr = int(regs[ip] if ip >= 0 else cp)
+            ready = worker.cache.access(addr, False, cycle)
+            worker.stats.loads += 1
+            worker._pending_mem = (complete, addr)
+            worker._waiting_until = ready
+            return _WAIT_MEM
+
+        return step
+
+    def _compile_store(self, inst: Store):
+        opcode = inst.opcode
+        ip, cp = self._bind(inst.pointer)
+        iv, cv = self._bind(inst.value)
+        vtype = inst.value.type
+
+        def complete(worker, frame, addr):
+            # The stored value is fetched at completion time, exactly as
+            # the interpreted worker's _complete_memory does.
+            regs = frame.regs
+            worker.system.memory.store(
+                addr, vtype, regs[iv] if iv >= 0 else cv
+            )
+
+        def step(worker, frame, cycle):
+            worker.stats.ops_executed[opcode] += 1
+            regs = frame.regs
+            addr = int(regs[ip] if ip >= 0 else cp)
+            ready = worker.cache.access(addr, True, cycle)
+            worker.stats.stores += 1
+            worker._pending_mem = (complete, addr)
+            worker._waiting_until = ready
+            return _WAIT_MEM
+
+        return step
+
+    def _compile_produce(self, inst: Produce):
+        opcode = inst.opcode
+        channel = inst.channel
+        n_channels = channel.n_channels
+        isel, csel = self._bind(inst.worker_select)
+        ival, cval = self._bind(inst.value)
+
+        def step(worker, frame, cycle):
+            stats = worker.stats
+            stats.ops_executed[opcode] += 1
+            regs = frame.regs
+            fifo = worker.system.fifo_for(channel)
+            index = int(regs[isel] if isel >= 0 else csel) % n_channels
+            blocked_until = (
+                fifo.injected_block_until(cycle)
+                if worker._injector.enabled
+                else 0
+            )
+            if blocked_until > cycle or not fifo.can_push(index):
+                if (
+                    blocked_until > cycle
+                    and worker.last_category is not CycleCategory.FIFO_FULL
+                ):
+                    worker._injector.note_backpressure_block(fifo, cycle)
+                fifo.stats.full_stall_cycles += 1
+                stats.ops_executed[opcode] -= 1
+                worker._blocked_fifo = fifo
+                worker._blocked_index = index
+                worker._blocked_until = blocked_until
+                return _WAIT_FULL
+            fifo.push(index, regs[ival] if ival >= 0 else cval, cycle)
+            stats.fifo_pushes += 1
+            return _OK
+
+        def probe(worker, frame, cycle):
+            fifo = worker.system.fifo_for(channel)
+            regs = frame.regs
+            index = int(regs[isel] if isel >= 0 else csel) % n_channels
+            if worker._injector.enabled and fifo.injected_block_until(cycle) > cycle:
+                return True
+            return not fifo.can_push(index)
+
+        return step, probe
+
+    def _compile_produce_broadcast(self, inst: ProduceBroadcast):
+        opcode = inst.opcode
+        channel = inst.channel
+        n_channels = channel.n_channels
+        ival, cval = self._bind(inst.value)
+
+        def step(worker, frame, cycle):
+            stats = worker.stats
+            stats.ops_executed[opcode] += 1
+            fifo = worker.system.fifo_for(channel)
+            blocked_until = (
+                fifo.injected_block_until(cycle)
+                if worker._injector.enabled
+                else 0
+            )
+            if blocked_until > cycle or not fifo.can_push_broadcast():
+                if (
+                    blocked_until > cycle
+                    and worker.last_category is not CycleCategory.FIFO_FULL
+                ):
+                    worker._injector.note_backpressure_block(fifo, cycle)
+                fifo.stats.full_stall_cycles += 1
+                stats.ops_executed[opcode] -= 1
+                worker._blocked_fifo = fifo
+                worker._blocked_index = None  # needs space in every queue
+                worker._blocked_until = blocked_until
+                return _WAIT_FULL
+            regs = frame.regs
+            fifo.push_broadcast(regs[ival] if ival >= 0 else cval, cycle)
+            stats.fifo_pushes += n_channels
+            return _OK
+
+        def probe(worker, frame, cycle):
+            fifo = worker.system.fifo_for(channel)
+            if worker._injector.enabled and fifo.injected_block_until(cycle) > cycle:
+                return True
+            return not fifo.can_push_broadcast()
+
+        return step, probe
+
+    def _compile_consume(self, inst: Consume):
+        opcode = inst.opcode
+        channel = inst.channel
+        n_channels = channel.n_channels
+        dst = self._slots[id(inst)]
+        select = inst.worker_select
+        isel, csel = self._bind(select) if select is not None else (-1, None)
+        has_select = select is not None
+
+        def step(worker, frame, cycle):
+            stats = worker.stats
+            stats.ops_executed[opcode] += 1
+            fifo = worker.system.fifo_for(channel)
+            if has_select:
+                regs = frame.regs
+                index = int(regs[isel] if isel >= 0 else csel) % n_channels
+            else:
+                index = worker.worker_id % n_channels
+            if not fifo.can_pop(index):
+                fifo.stats.empty_stall_cycles += 1
+                stats.ops_executed[opcode] -= 1
+                worker._blocked_fifo = fifo
+                worker._blocked_index = index
+                return _WAIT_EMPTY
+            frame.regs[dst] = fifo.pop(index, cycle)
+            stats.fifo_pops += 1
+            return _OK
+
+        def probe(worker, frame, cycle):
+            fifo = worker.system.fifo_for(channel)
+            if has_select:
+                regs = frame.regs
+                index = int(regs[isel] if isel >= 0 else csel) % n_channels
+            else:
+                index = worker.worker_id % n_channels
+            return not fifo.can_pop(index)
+
+        return step, probe
+
+    def _compile_join(self, inst: ParallelJoin):
+        opcode = inst.opcode
+        loop_id = inst.loop_id
+
+        def step(worker, frame, cycle):
+            worker.stats.ops_executed[opcode] += 1
+            system = worker.system
+            if not system.join_ready(loop_id):
+                worker.stats.ops_executed[opcode] -= 1
+                worker._blocked_loop = loop_id
+                return _WAIT_JOIN
+            system.finish_join(loop_id, cycle)
+            return _OK
+
+        def probe(worker, frame, cycle):
+            return not worker.system.join_ready(loop_id)
+
+        return step, probe
+
+    def _compile_call(self, inst: Call):
+        opcode = inst.opcode
+        dst = self._slots[id(inst)]
+        callee = inst.callee
+        if callee.is_declaration:
+            if callee.name in MALLOC_NAMES:
+                isz, csz = self._bind(inst.args[0])
+
+                def step(worker, frame, cycle):
+                    worker.stats.ops_executed[opcode] += 1
+                    regs = frame.regs
+                    size = int(regs[isz] if isz >= 0 else csz)
+                    regs[dst] = worker.system.memory.malloc(size, site=-4)
+                    return _OK
+
+                return step
+
+            def step(worker, frame, cycle):
+                worker.stats.ops_executed[opcode] += 1
+                raise SimulationError(
+                    f"call to undefined @{callee.name} in hardware"
+                )
+
+            return step
+        arg_binds = [self._bind(a) for a in inst.args]
+        # The callee program is resolved lazily (first execution) so
+        # mutually recursive functions can specialize each other.
+        cell: list = [None]
+
+        def step(worker, frame, cycle):
+            worker.stats.ops_executed[opcode] += 1
+            bound = cell[0]
+            if bound is None:
+                program = specialized_for(callee)
+                bound = cell[0] = (
+                    program,
+                    [program.slot_of(formal) for formal in callee.args],
+                )
+            program, formal_slots = bound
+            new_frame = SpecFrame(program, worker.system, ret_slot=dst)
+            nregs = new_frame.regs
+            regs = frame.regs
+            for slot, (s, c) in zip(formal_slots, arg_binds):
+                nregs[slot] = regs[s] if s >= 0 else c
+            worker._frames.append(new_frame)
+            return _CALL
+
+        return step
+
+    def _compile_ret(self, inst: Ret):
+        opcode = inst.opcode
+        value_op = inst.value
+        iv, cv = self._bind(value_op) if value_op is not None else (-1, None)
+        has_value = value_op is not None
+
+        def step(worker, frame, cycle):
+            worker.stats.ops_executed[opcode] += 1
+            if has_value:
+                regs = frame.regs
+                value = regs[iv] if iv >= 0 else cv
+            else:
+                value = None
+            frames = worker._frames
+            frames.pop()
+            if not frames:
+                worker.done = True
+                worker.system.worker_finished(worker)
+                worker.return_value = value
+                return _RET
+            caller = frames[-1]
+            if value is not None:
+                caller.regs[frame.ret_slot] = value
+            caller.cursor += 1
+            return _RET
+
+        return step
+
+
+def specialized_for(function: Function) -> SpecializedProgram:
+    """The (cached) specialized program for ``function``.
+
+    The cache lives on the function object itself, so the one-time
+    specialization cost is amortized across every worker, system and
+    process-local run that executes the function — exactly the sharing
+    DSE and fault sweeps need.
+    """
+    program = getattr(function, "_specialized_program", None)
+    if program is None:
+        program = SpecializedProgram(function, schedule_function(function))
+        function._specialized_program = program  # type: ignore[attr-defined]
+    return program
+
+
+class SpecializedWorker(HwWorker):
+    """An :class:`HwWorker` whose FSM executes pre-compiled step closures.
+
+    Only value plumbing and dispatch are overridden; stall categories,
+    event arming, fault hooks and stats attribution are the inherited
+    (bit-identical) machinery.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        function: Function,
+        args,
+        system: "AcceleratorSystem",
+        worker_id: int = 0,
+        start_cycle: int = 0,
+    ) -> None:
+        super().__init__(
+            name, function, args, system,
+            worker_id=worker_id, start_cycle=start_cycle,
+        )
+        # Compute-run batching (see ``tick``) is legal only when nothing
+        # observes per-cycle state mid-run: no trace sink, no invariant
+        # monitor, no fault injector.  All three are fixed at system
+        # construction, so decide once.
+        self._can_batch = (
+            not self._trace
+            and system.monitor is None
+            and not system.injector.enabled
+        )
+
+    def _make_entry_frames(self, function: Function, args):
+        program = specialized_for(function)
+        if len(args) != len(function.args):
+            raise SimulationError(
+                f"worker {self.name}: expected {len(function.args)} args, "
+                f"got {len(args)}"
+            )
+        frame = SpecFrame(program, self.system)
+        regs = frame.regs
+        for formal, actual in zip(function.args, args):
+            regs[program.slot_of(formal)] = actual
+        return [frame]
+
+    def tick(self, cycle: int) -> None:
+        """Fused tick + attribute + arm for the event-engine hot path.
+
+        Folds :meth:`HwWorker.tick`'s category dispatch and
+        :meth:`HwWorker._arm` into the step loop's exit paths (one branch
+        chain instead of three), and — when no trace sink, monitor or
+        injector is attached — executes runs of *pure* FSM states (states
+        whose ops touch only the frame's registers) in a single tick,
+        attributing the whole run as a batch of COMPUTE cycles.  Batching
+        is invisible to every other worker: pure states read and write
+        nothing shared, the worker stays runnable (finite ``next_due``),
+        and the batch never extends past ``max_cycles`` (so the cycle
+        budget fires at the same cycle as the unbatched engines).
+        """
+        engine = self.engine
+        if engine is None or self._trace:
+            # Lockstep oracle or traced run: the base path emits per-cycle
+            # trace events and keeps per-cycle semantics throughout.
+            HwWorker.tick(self, cycle)
+            return
+        stats = self.stats
+        if self.done or self.hung:
+            stats.idle_cycles += 1
+            self.last_category = CycleCategory.IDLE
+            self.synced_until = cycle + 1
+            self.next_due = NEVER
+            self.wait_category = CycleCategory.IDLE
+            return
+        if cycle < self.start_cycle:
+            stats.idle_cycles += 1
+            self.last_category = CycleCategory.IDLE
+            self.synced_until = cycle + 1
+            self.next_due = max(self.start_cycle, cycle + 1)
+            self.wait_category = CycleCategory.IDLE
+            return
+        if cycle < self._waiting_until:
+            stats.mem_stall_cycles += 1
+            self.last_category = CycleCategory.CACHE
+            self.synced_until = cycle + 1
+            self.next_due = max(self._waiting_until, cycle + 1)
+            self.wait_category = CycleCategory.CACHE
+            return
+        injector = self._injector
+        if (
+            injector.enabled
+            and injector.hang_pending(self, cycle)
+            and not self._would_block(cycle)
+        ):
+            self.hung = True
+            injector.hang_triggered(self)
+            stats.idle_cycles += 1
+            self.last_category = CycleCategory.IDLE
+            self.synced_until = cycle + 1
+            self.next_due = NEVER
+            self.wait_category = CycleCategory.IDLE
+            return
+        if self._pending_mem is not None:
+            self._complete_memory()
+        frame = self._frames[-1]
+        steps = frame.steps
+        cursor = frame.cursor
+        n = len(steps)
+        executed = 0
+        while cursor < n:
+            outcome = steps[cursor](self, frame, cycle)
+            if outcome is _OK:
+                cursor += 1
+                frame.cursor = cursor
+                executed += 1
+                continue
+            self.progress += executed
+            if outcome is _WAIT_MEM:
+                stats.mem_stall_cycles += 1
+                self.last_category = CycleCategory.CACHE
+                self.synced_until = cycle + 1
+                self.next_due = max(self._waiting_until, cycle + 1)
+                self.wait_category = CycleCategory.CACHE
+                return
+            if outcome is _WAIT_FULL:
+                stats.fifo_full_stall_cycles += 1
+                self.last_category = CycleCategory.FIFO_FULL
+                self.synced_until = cycle + 1
+                self.wait_category = CycleCategory.FIFO_FULL
+                if self._blocked_until > cycle:
+                    self.next_due = self._blocked_until
+                else:
+                    self.next_due = NEVER
+                    engine.wait_on_fifo(self, self._blocked_fifo)
+                return
+            if outcome is _WAIT_EMPTY:
+                stats.fifo_empty_stall_cycles += 1
+                self.last_category = CycleCategory.FIFO_EMPTY
+                self.synced_until = cycle + 1
+                self.wait_category = CycleCategory.FIFO_EMPTY
+                self.next_due = NEVER
+                engine.wait_on_fifo(self, self._blocked_fifo)
+                return
+            if outcome is _WAIT_JOIN:
+                stats.join_stall_cycles += 1
+                self.last_category = CycleCategory.JOIN
+                self.synced_until = cycle + 1
+                self.wait_category = CycleCategory.JOIN
+                self.next_due = NEVER
+                engine.wait_on_join(self, self._blocked_loop)
+                return
+            # call / ret / branch: the closure already moved the frame.
+            self.progress += 1
+            stats.active_cycles += 1
+            self.last_category = CycleCategory.COMPUTE
+            self.synced_until = cycle + 1
+            if self.done or self.hung:
+                self.next_due = NEVER
+                self.wait_category = CycleCategory.IDLE
+            else:
+                self.next_due = cycle + 1
+            return
+        # State complete: advance within the block (one state per cycle).
+        self.progress += executed + 1
+        block = frame.block
+        state = frame.state + 1
+        if state >= block.n_states:
+            raise SimulationError(
+                f"worker {self.name}: fell off the end of block "
+                f"{block.label} (missing terminator?)"
+            )
+        steps = block.states[state]
+        k = 1
+        if self._can_batch:
+            # Absorb the following run of pure states: each absorbed
+            # state is one more COMPUTE cycle.  The loop always stops
+            # before the block ends (the terminator state is impure).
+            pure = block.pure
+            max_cycles = self.system.max_cycles
+            while pure[state] and cycle + k < max_cycles:
+                for step in steps:
+                    step(self, frame, cycle)
+                self.progress += len(steps) + 1
+                state += 1
+                k += 1
+                steps = block.states[state]
+        frame.state = state
+        frame.cursor = 0
+        frame.steps = steps
+        stats.active_cycles += k
+        self.last_category = CycleCategory.COMPUTE
+        self.synced_until = cycle + k
+        self.next_due = cycle + k
+
+    def _tick(self, cycle: int) -> CycleCategory:
+        if self.done or self.hung:
+            return CycleCategory.IDLE
+        if cycle < self.start_cycle:
+            return CycleCategory.IDLE
+        if cycle < self._waiting_until:
+            return CycleCategory.CACHE
+        if (
+            self._injector.enabled
+            and self._injector.hang_pending(self, cycle)
+            and not self._would_block(cycle)
+        ):
+            self.hung = True
+            self._injector.hang_triggered(self)
+            return CycleCategory.IDLE
+        if self._pending_mem is not None:
+            self._complete_memory()
+        frame = self._frames[-1]
+        steps = frame.steps
+        cursor = frame.cursor
+        n = len(steps)
+        while cursor < n:
+            outcome = steps[cursor](self, frame, cycle)
+            if outcome is _OK:
+                cursor += 1
+                frame.cursor = cursor
+                self.progress += 1
+                continue
+            if outcome is _WAIT_MEM:
+                return CycleCategory.CACHE
+            if outcome is _WAIT_FULL:
+                return CycleCategory.FIFO_FULL
+            if outcome is _WAIT_EMPTY:
+                return CycleCategory.FIFO_EMPTY
+            if outcome is _WAIT_JOIN:
+                return CycleCategory.JOIN
+            # call / ret / branch: the closure already moved the frame.
+            self.progress += 1
+            if self._trace and not self.done:
+                self._emit_state(cycle)
+            return CycleCategory.COMPUTE
+        # State complete: advance within the block (one state per cycle).
+        self.progress += 1
+        frame.state += 1
+        frame.cursor = 0
+        if frame.state >= frame.block.n_states:
+            raise SimulationError(
+                f"worker {self.name}: fell off the end of block "
+                f"{frame.block.label} (missing terminator?)"
+            )
+        frame.steps = frame.block.states[frame.state]
+        if self._trace:
+            self._emit_state(cycle)
+        return CycleCategory.COMPUTE
+
+    def _would_block(self, cycle: int) -> bool:
+        if self._pending_mem is not None:
+            return False  # completing the outstanding access is progress
+        frame = self._frames[-1]
+        if frame.cursor >= len(frame.steps):
+            return False  # state advance is progress
+        probe = frame.block.probes[frame.state][frame.cursor]
+        if probe is None:
+            return False
+        return probe(self, frame, cycle)
+
+    def _complete_memory(self) -> None:
+        complete, addr = self._pending_mem  # type: ignore[misc]
+        frame = self._frames[-1]
+        complete(self, frame, addr)
+        self._pending_mem = None
+        frame.cursor += 1
+        self.progress += 1
+
+    def _emit_state(self, cycle: int) -> None:
+        frame = self._frames[-1]
+        self._sink.worker_state(
+            self.name, cycle, frame.block.trace_label, frame.state
+        )

@@ -25,11 +25,12 @@ from ..telemetry.events import NULL_SINK, TraceSink
 from .cache import CacheStats, DirectMappedCache
 from .engine import EventScheduler
 from .fifo import FifoBuffer
+from .specialize import SpecializedWorker
 from .worker import HwWorker, WorkerStats
 from ..pipeline.transform import TaskInfo
 
 #: Valid values for ``AcceleratorSystem(engine=...)``.
-ENGINES = ("event", "lockstep")
+ENGINES = ("event", "lockstep", "specialized")
 
 
 @dataclass
@@ -87,9 +88,11 @@ class AcceleratorSystem:
 
         ``engine`` selects the clock loop: ``"event"`` (default) jumps the
         clock between worker wake events (:mod:`repro.hw.engine`),
-        ``"lockstep"`` ticks every worker every cycle.  Both produce
-        bit-identical :class:`SimReport`\\ s; lockstep is kept as the
-        differential-testing oracle.
+        ``"lockstep"`` ticks every worker every cycle, and
+        ``"specialized"`` runs the event clock over workers whose FSMs
+        were compiled into closures (:mod:`repro.hw.specialize`).  All
+        three produce bit-identical :class:`SimReport`\\ s; lockstep is
+        kept as the differential-testing oracle.
 
         ``injector`` applies one :class:`~repro.faults.plan.FaultPlan`
         through the hardware models' injection hooks (default: the
@@ -99,6 +102,7 @@ class AcceleratorSystem:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
         self.engine_kind = engine
+        self._worker_cls = SpecializedWorker if engine == "specialized" else HwWorker
         self._scheduler: EventScheduler | None = None
         self.module = module
         self.memory = memory
@@ -176,7 +180,7 @@ class AcceleratorSystem:
         if isinstance(info, TaskInfo) and info.is_parallel:
             args.append(worker_id)
         name = f"{inst.task.name}#w{worker_id}"
-        worker = HwWorker(
+        worker = self._worker_cls(
             name,
             inst.task,
             args,
@@ -236,11 +240,11 @@ class AcceleratorSystem:
         if isinstance(entry, str):
             entry = self.module.get_function(entry)
         self._reset_run_state()
-        if self.engine_kind == "event":
+        if self.engine_kind != "lockstep":
             self._scheduler = EventScheduler(self)
             for fifo in self._fifos.values():
                 fifo.engine = self._scheduler
-        main = HwWorker(f"{entry.name}#top", entry, args, self)
+        main = self._worker_cls(f"{entry.name}#top", entry, args, self)
         self._register_worker(main)
         if self.sink.enabled:
             self.sink.begin_run([main.name])

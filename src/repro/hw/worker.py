@@ -197,17 +197,23 @@ class HwWorker:
         #: The cache this worker's memory port talks to (shared, or a
         #: private slice under the Appendix B.1 memory-partitioning mode).
         self.cache = system.cache_for_new_worker()
-        schedule = system.schedule_for(function)
+        self._frames = self._make_entry_frames(function, args)
+        #: Monotonic progress marker for deadlock detection.
+        self.progress = 0
+
+    def _make_entry_frames(self, function: Function, args: list[int | float]):
+        """Build the initial frame stack (overridden by the specialized
+        engine, which uses slot-indexed frames instead of env dicts)."""
+        schedule = self.system.schedule_for(function)
         frame = _Frame(function, schedule)
         if len(args) != len(function.args):
             raise SimulationError(
-                f"worker {name}: expected {len(function.args)} args, got {len(args)}"
+                f"worker {self.name}: expected {len(function.args)} args, "
+                f"got {len(args)}"
             )
         for formal, actual in zip(function.args, args):
             frame.env[id(formal)] = actual
-        self._frames = [frame]
-        #: Monotonic progress marker for deadlock detection.
-        self.progress = 0
+        return [frame]
 
     # -- value plumbing ---------------------------------------------------------
 

@@ -11,6 +11,7 @@ costs through a profiler hook.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from typing import Callable
 
 from ..errors import InterpError
@@ -80,11 +81,14 @@ class ChannelIO:
     """
 
     def __init__(self) -> None:
-        self._queues: dict[tuple[int, int], list] = {}
+        # Deques, not lists: a deep queue (e.g. an unthrottled producer
+        # ahead of a slow consumer) made ``pop(0)`` O(n) per token and
+        # the whole functional run O(n^2).
+        self._queues: dict[tuple[int, int], deque] = {}
         self.liveouts: dict[int, int | float] = {}
 
-    def _queue(self, channel_id: int, index: int) -> list:
-        return self._queues.setdefault((channel_id, index), [])
+    def _queue(self, channel_id: int, index: int) -> deque:
+        return self._queues.setdefault((channel_id, index), deque())
 
     def produce(self, channel, index: int, value) -> None:
         self._queue(channel.channel_id, index).append(value)
@@ -98,7 +102,7 @@ class ChannelIO:
         queue = self._queue(channel.channel_id, index)
         if not queue:
             return False, None
-        return True, queue.pop(0)
+        return True, queue.popleft()
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues.values())

@@ -172,11 +172,18 @@ class Memory:
         return bytes(self._data[: self._brk])
 
     def clone(self) -> "Memory":
-        """Deep copy sharing nothing, for running two backends on one image."""
+        """Deep copy sharing nothing, for running two backends on one image.
+
+        Also carries the access counters, so a clone of an interned
+        post-setup image (:mod:`repro.fleet`) is bit-identical to a
+        freshly set-up one.
+        """
         copy = Memory(len(self._data))
         copy._data[:] = self._data
         copy._brk = self._brk
         copy.allocations = [Allocation(a.addr, a.size, a.site) for a in self.allocations]
+        copy.bytes_read = self.bytes_read
+        copy.bytes_written = self.bytes_written
         return copy
 
 

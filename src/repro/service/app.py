@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable
 
+from ..fleet import FleetExecutor
 from .contracts import ContractError, JobRequest
 from .queue import JobQueue
 from .ratelimit import DEFAULT_CAPACITY, DEFAULT_REFILL_PER_S, RateLimiter
@@ -57,6 +58,9 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 8337
     workers: int = 2
+    #: >1 attaches a :class:`~repro.fleet.FleetExecutor` and runs jobs in
+    #: pool processes instead of worker threads (GIL-free simulation).
+    processes: int = 1
     store_root: str = ".cgpa-store"
     lru_entries: int = DEFAULT_LRU_ENTRIES
     rate_capacity: float = DEFAULT_CAPACITY
@@ -86,7 +90,14 @@ class CgpaService:
         self.store = ArtifactStore(
             self.config.store_root, lru_entries=self.config.lru_entries
         )
-        self.queue = JobQueue(self.store, workers=self.config.workers, run=run)
+        self.fleet = (
+            FleetExecutor(self.config.processes)
+            if self.config.processes > 1 else None
+        )
+        self.queue = JobQueue(
+            self.store, workers=self.config.workers, run=run,
+            fleet=self.fleet,
+        )
         limiter_kwargs = {} if clock is None else {"clock": clock}
         self.limiter = RateLimiter(
             capacity=self.config.rate_capacity,
@@ -128,6 +139,8 @@ class CgpaService:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         await self.queue.close()
+        if self.fleet is not None:
+            self.fleet.close()
 
     # -- HTTP plumbing -----------------------------------------------------
 
@@ -361,9 +374,13 @@ def run_server(config: ServiceConfig) -> None:
     async def main() -> None:
         service = CgpaService(config)
         await service.start()
+        pool = (
+            f"{config.processes} pool process(es)"
+            if config.processes > 1 else f"{config.workers} worker(s)"
+        )
         print(
             f"CGPA service on http://{config.host}:{service.port} "
-            f"({config.workers} worker(s), store: {config.store_root})",
+            f"({pool}, store: {config.store_root})",
             flush=True,
         )
         try:

@@ -40,7 +40,7 @@ JOB_KINDS = ("compile", "simulate", "dse", "faults", "rtl")
 _POLICIES = ("p1", "p2", "none")
 
 #: Simulator engines accepted by simulate-like options.
-_ENGINES = ("event", "lockstep")
+_ENGINES = ("event", "lockstep", "specialized")
 
 
 class ContractError(CgpaError):

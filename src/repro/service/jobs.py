@@ -220,3 +220,25 @@ def execute(request: JobRequest, store: ArtifactStore | None = None) -> dict:
     if runner is None:
         raise ContractError(f"unknown job kind {request.kind!r}")
     return runner(request, store)
+
+
+#: Per-process artifact stores for fleet-pool execution, keyed by root.
+#: Store instances hold only an LRU and counters; the disk layout and
+#: its atomic-write discipline are shared with every other process.
+_PROCESS_STORES: dict = {}
+
+
+def execute_in_process(store_root: str, request: JobRequest) -> dict:
+    """Fleet-pool entry point: :func:`execute` against a per-process store.
+
+    Module-level and picklable (bind ``store_root`` with
+    ``functools.partial``), so the service job queue can dispatch jobs to
+    :class:`~repro.fleet.FleetExecutor` pool processes.  Each process
+    rebuilds one :class:`ArtifactStore` per root and keeps it — its warm
+    LRU, the per-process evaluator/harness memos, and the interned
+    workload images all amortize across the jobs that land on it.
+    """
+    store = _PROCESS_STORES.get(store_root)
+    if store is None:
+        store = _PROCESS_STORES[store_root] = ArtifactStore(store_root)
+    return execute(request, store=store)

@@ -9,23 +9,27 @@ The queue owns the service's execution pipeline:
   :class:`JobRecord`; the second client polls the same job id and the
   work runs exactly once;
 * **worker pool** — N asyncio worker tasks drain a FIFO queue, running
-  the (CPU-bound, blocking) executor on a thread pool so the HTTP event
-  loop stays responsive while simulations grind.
+  the (CPU-bound, blocking) executor on a thread pool — or, when a
+  :class:`~repro.fleet.FleetExecutor` is attached, on its process pool
+  (sidestepping the GIL for simulation-bound workloads) — so the HTTP
+  event loop stays responsive while simulations grind.
 
 All bookkeeping (records, in-flight map, stats) is touched only from
 the event loop thread, so there are no locks here; the executor runs on
-pool threads but communicates only through its return value.
+pool threads/processes but communicates only through its return value.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import CgpaError
+from ..fleet import FleetExecutor
 from . import jobs
 from .contracts import JobRequest
 from .store import ArtifactStore
@@ -92,9 +96,15 @@ class JobQueue:
         workers: int = 2,
         run: Callable[[JobRequest], dict] | None = None,
         max_records: int = 10_000,
+        fleet: FleetExecutor | None = None,
     ) -> None:
         self.store = store
         self.workers = max(1, workers)
+        #: A non-serial fleet moves the default executor onto its process
+        #: pool.  A custom ``run`` pins execution to the thread pool (it
+        #: may close over unpicklable state — tests do).
+        self.fleet = fleet
+        self._custom_run = run
         self._run = run if run is not None else (
             lambda request: jobs.execute(request, store=store)
         )
@@ -105,14 +115,30 @@ class JobQueue:
         self._ids = itertools.count(1)
         self._queue: asyncio.Queue[JobRecord] = asyncio.Queue()
         self._tasks: list[asyncio.Task] = []
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: Executor | None = None
+        self._owns_pool = True
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="cgpa-job"
-        )
+        if (
+            self._custom_run is None
+            and self.fleet is not None
+            and not self.fleet.serial
+        ):
+            # Jobs run in fleet pool processes; each process keeps its
+            # own artifact store, evaluator memos and interned workload
+            # images across the jobs that land on it.
+            self._pool = self.fleet.futures_pool
+            self._owns_pool = False
+            self._run = functools.partial(
+                jobs.execute_in_process, str(self.store.root)
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="cgpa-job"
+            )
+            self._owns_pool = True
         self._tasks = [
             asyncio.create_task(self._worker(), name=f"job-worker-{i}")
             for i in range(self.workers)
@@ -128,7 +154,9 @@ class JobQueue:
                 pass
         self._tasks = []
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            # The fleet owns its pool; only shut down one we created.
+            if self._owns_pool:
+                self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
     @property

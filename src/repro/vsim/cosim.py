@@ -35,6 +35,7 @@ Contract notes:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import CgpaError
@@ -196,10 +197,11 @@ class _RoundShared:
         self.n_channels = n_channels
         self.fifo_depth = fifo_depth
         self.liveouts = liveouts
-        self.queues: dict[tuple[int, int], list[int]] = {}
+        # Deques: popping the head of a deep queue was O(n) per token.
+        self.queues: dict[tuple[int, int], deque[int]] = {}
 
-    def queue(self, cid: int, idx: int) -> list[int]:
-        return self.queues.setdefault((cid, idx), [])
+    def queue(self, cid: int, idx: int) -> deque[int]:
+        return self.queues.setdefault((cid, idx), deque())
 
 
 class _RtlInstance:
@@ -329,7 +331,7 @@ class _RtlInstance:
             self._pending_push = None
         if self._pending_pop is not None:
             cid, idx = self._pending_pop
-            bits = self.shared.queue(cid, idx).pop(0)
+            bits = self.shared.queue(cid, idx).popleft()
             self.pop_seen.append((cid, idx, bits))
             self._pending_pop = None
         for lid in self.aux.liveout_stores:

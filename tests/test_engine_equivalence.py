@@ -14,7 +14,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.analysis import RegionShapes, Shape
 from repro.errors import SimulationError
 from repro.frontend import compile_c
-from repro.harness.runner import _setup_workload
+from repro.harness.runner import setup_workload
 from repro.hw import (
     AcceleratorSystem,
     DirectMappedCache,
@@ -47,7 +47,7 @@ def compiled_kernel(name: str):
 def simulate_kernel(name: str, engine: str, sink=None, **system_kwargs):
     spec = KERNELS_BY_NAME[name]
     compiled = compiled_kernel(name)
-    memory, globals_, args = _setup_workload(compiled.module, spec)
+    memory, globals_, args = setup_workload(compiled.module, spec)
     system = AcceleratorSystem(
         compiled.module, memory,
         channels=compiled.result.channels,
@@ -157,7 +157,7 @@ class TestFuzzedPipelines:
             fifo_depth=depth,
         )
         reports = {}
-        for engine in ("event", "lockstep"):
+        for engine in ("event", "lockstep", "specialized"):
             system = AcceleratorSystem(
                 compiled.module, Memory(),
                 channels=compiled.result.channels,
@@ -165,6 +165,7 @@ class TestFuzzedPipelines:
             )
             reports[engine] = system.run("run", [n])
         assert_reports_identical(reports["event"], reports["lockstep"])
+        assert_reports_identical(reports["specialized"], reports["lockstep"])
         # And both still compute what the software interpreter computes.
         ref_module = compile_c(source)
         optimize_module(ref_module)

@@ -38,7 +38,7 @@ from repro.faults import (
 from repro.faults.sweep import plan_seeds, resilience_sweep
 from repro.frontend import compile_c
 from repro.harness.__main__ import faults_main, main
-from repro.harness.runner import _setup_workload
+from repro.harness.runner import setup_workload
 from repro.hw import AcceleratorSystem, DirectMappedCache
 from repro.interp import Interpreter, Memory
 from repro.ir import (
@@ -60,6 +60,10 @@ from repro.pipeline.transform import TaskInfo
 from repro.transforms import optimize_module
 
 KERNEL_NAMES = [spec.name for spec in ALL_KERNELS]
+
+#: Every simulator engine must agree on failure behaviour, not just on
+#: clean runs: same deadlock cycle, same diagnosis, same hang messages.
+ENGINES = ("event", "lockstep", "specialized")
 
 #: Scaled-down ks for the cheap CLI/evaluator paths (same trick as
 #: test_dse.py: full compile+simulate pipeline in tens of milliseconds).
@@ -86,7 +90,7 @@ def simulate_kernel(name: str, engine: str = "event", injector=None,
     """Run one kernel; returns (SimReport, liveout checksum)."""
     spec = KERNELS_BY_NAME[name]
     compiled = compiled_kernel(name)
-    memory, globals_, args = _setup_workload(compiled.module, spec)
+    memory, globals_, args = setup_workload(compiled.module, spec)
     system = AcceleratorSystem(
         compiled.module, memory,
         channels=compiled.result.channels,
@@ -261,14 +265,17 @@ class TestDeadlockDiagnosis:
     def test_engines_agree_on_cycle_and_diagnosis(self, topology):
         build = DEADLOCK_TOPOLOGIES[topology]
         errors = {}
-        for engine in ("event", "lockstep"):
+        for engine in ENGINES:
             module, plan = build()
             errors[engine] = _run_until_deadlock(module, plan, engine)
         event, lockstep = errors["event"], errors["lockstep"]
-        assert str(event) == str(lockstep)
-        assert event.diagnosis is not None and lockstep.diagnosis is not None
+        for other in ENGINES[1:]:
+            assert str(event) == str(errors[other]), other
+            assert errors[other].diagnosis is not None
+        assert event.diagnosis is not None
         assert event.diagnosis.cycle == lockstep.diagnosis.cycle
-        assert event.diagnosis.to_dict() == lockstep.diagnosis.to_dict()
+        for other in ENGINES[1:]:
+            assert event.diagnosis.to_dict() == errors[other].diagnosis.to_dict()
         # Legacy message shape preserved for string-matching callers.
         assert "no runnable worker and no pending event" in str(event)
 
@@ -309,8 +316,8 @@ class TestDeadlockDiagnosis:
             policy=ReplicationPolicy.P1, n_workers=2, fifo_depth=0,
         )
         errors = {}
-        for engine in ("event", "lockstep"):
-            memory, globals_, args = _setup_workload(compiled.module, spec)
+        for engine in ENGINES:
+            memory, globals_, args = setup_workload(compiled.module, spec)
             system = AcceleratorSystem(
                 compiled.module, memory,
                 channels=compiled.result.channels,
@@ -320,6 +327,7 @@ class TestDeadlockDiagnosis:
                 system.run(spec.measure_entry, args)
             errors[engine] = info.value
         assert str(errors["event"]) == str(errors["lockstep"])
+        assert str(errors["event"]) == str(errors["specialized"])
         assert errors["event"].diagnosis.blocked  # graph is populated
 
     @pytest.mark.parametrize("seed", [11, 23])
@@ -331,13 +339,14 @@ class TestDeadlockDiagnosis:
         plan = FaultPlan.generate(seed, "hang", ctx)
         assert plan.by_kind("worker_hang")
         messages = {}
-        for engine in ("event", "lockstep"):
+        for engine in ENGINES:
             with pytest.raises(DeadlockError) as info:
                 simulate_kernel("ks", engine, injector=FaultInjector(plan))
             messages[engine] = str(info.value)
             assert info.value.diagnosis.root_hang is not None
             assert "hung" in messages[engine]
         assert messages["event"] == messages["lockstep"]
+        assert messages["event"] == messages["specialized"]
 
 
 # -- graceful degradation: timing faults never change liveouts ------------------
@@ -383,13 +392,17 @@ class TestInvariantMonitor:
         # history stays bit-identical.  (The *number* of checks may
         # differ: the event engine only lands on simulated cycles, so a
         # long skip can cover several check intervals at once.)
-        event = InvariantMonitor(interval=777)
-        lockstep = InvariantMonitor(interval=777)
-        sim_e, checksum_e = simulate_kernel("ks", "event", monitor=event)
-        sim_l, checksum_l = simulate_kernel("ks", "lockstep", monitor=lockstep)
-        assert sim_e.cycles == sim_l.cycles
-        assert checksum_e == checksum_l
-        assert event.checks_run > 0 and lockstep.checks_run > 0
+        monitors = {engine: InvariantMonitor(interval=777) for engine in ENGINES}
+        runs = {
+            engine: simulate_kernel("ks", engine, monitor=monitors[engine])
+            for engine in ENGINES
+        }
+        sim_e, checksum_e = runs["event"]
+        for engine in ENGINES[1:]:
+            sim, checksum = runs[engine]
+            assert sim_e.cycles == sim.cycles, engine
+            assert checksum_e == checksum, engine
+        assert all(m.checks_run > 0 for m in monitors.values())
 
     def test_corrupted_state_reports_every_violation(self):
         module = Module("m")
@@ -483,6 +496,18 @@ class TestEvaluatorClassification:
         restored = EvalResult.from_dict(legacy)
         assert restored.diagnosis is None
         assert restored.status == "deadlock"
+
+    def test_result_dict_tolerates_future_schema_extra_keys(self):
+        # Regression: a cache entry written by a *newer* schema carries
+        # keys this build has never heard of; from_dict must drop them
+        # instead of crashing the whole sweep with a TypeError.
+        result = EvalResult(point=DesignPoint(), status="ok", cycles=123)
+        wire = result.to_dict()
+        wire["thermal_mw"] = 41.5
+        wire["new_nested"] = {"a": [1, 2]}
+        restored = EvalResult.from_dict(wire)
+        assert restored == result
+        assert restored.cycles == 123
 
 
 # -- resilience sweep + CLI -----------------------------------------------------

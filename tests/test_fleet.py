@@ -1,0 +1,174 @@
+"""Tests for the shared fleet executor (repro.fleet).
+
+The fleet's contract has three legs:
+
+* ``map`` preserves task order, and the serial path runs the *same*
+  module-level task function inline — the mechanism behind every
+  consumer's "byte-identical at any pool size" guarantee;
+* ``interned_workload`` stamps out memory-image clones that are
+  bit-identical to a fresh functional setup (counters included);
+* the two big consumers — DSE sweeps and resilience sweeps — really do
+  produce identical reports serially and on a pool.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.dse.explore import Explorer
+from repro.dse.space import ConfigSpace
+from repro.dse.strategies import GridStrategy
+from repro.faults.sweep import resilience_sweep
+from repro.fleet import FleetExecutor, interned_workload
+from repro.frontend import compile_c
+from repro.harness.runner import setup_workload
+from repro.kernels import KERNELS_BY_NAME
+from repro.transforms import optimize_module
+
+#: Scaled-down gaussblur: full compile+simulate in tens of milliseconds.
+SMALL_BLUR = dataclasses.replace(
+    KERNELS_BY_NAME["1D-Gaussblur"], setup_args=[6, 48]
+)
+
+
+def _double(x):
+    return x * 2
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three")
+    return x
+
+
+class TestFleetExecutor:
+    def test_serial_map_runs_inline_in_order(self):
+        fleet = FleetExecutor(1)
+        assert fleet.serial
+        assert fleet.map(_double, [3, 1, 2]) == [6, 2, 4]
+        # Nothing was spawned for the serial path.
+        assert fleet._pool is None
+
+    def test_single_task_runs_inline_even_with_pool_config(self):
+        with FleetExecutor(4) as fleet:
+            assert fleet.map(_double, [21]) == [42]
+            assert fleet._pool is None
+
+    def test_pool_map_preserves_order_and_reuses_pool(self):
+        with FleetExecutor(2) as fleet:
+            assert fleet.map(_double, list(range(8))) == [
+                2 * i for i in range(8)
+            ]
+            pool = fleet._pool
+            assert pool is not None
+            assert fleet.map(_double, [5, 4]) == [10, 8]
+            assert fleet._pool is pool  # reused, not respawned
+
+    def test_close_is_idempotent_and_pool_recreatable(self):
+        fleet = FleetExecutor(2)
+        fleet.map(_double, [1, 2])
+        fleet.close()
+        fleet.close()
+        assert fleet.map(_double, [1, 2, 3]) == [2, 4, 6]
+        fleet.close()
+
+    def test_processes_floor_is_one(self):
+        assert FleetExecutor(0).processes == 1
+        assert FleetExecutor(-3).processes == 1
+
+    def test_serial_path_propagates_task_errors(self):
+        fleet = FleetExecutor(1)
+        with pytest.raises(ValueError, match="three"):
+            fleet.map(_fail_on_three, [1, 2, 3])
+
+    def test_futures_pool_is_reusable_executor(self):
+        with FleetExecutor(2) as fleet:
+            future = fleet.futures_pool.submit(_double, 8)
+            assert future.result() == 16
+
+
+class TestInternedWorkload:
+    def test_clone_matches_fresh_setup(self):
+        spec = SMALL_BLUR
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        fresh_mem, fresh_globals, fresh_args = setup_workload(module, spec)
+        mem, globals_, args = interned_workload(module, spec)
+        assert mem.snapshot() == fresh_mem.snapshot()
+        assert mem._brk == fresh_mem._brk
+        assert mem.bytes_read == fresh_mem.bytes_read
+        assert mem.bytes_written == fresh_mem.bytes_written
+        assert len(mem.allocations) == len(fresh_mem.allocations)
+        assert globals_ == fresh_globals
+        assert args == fresh_args
+
+    def test_clones_are_independent(self):
+        spec = SMALL_BLUR
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        a, globals_a, args_a = interned_workload(module, spec)
+        b, globals_b, args_b = interned_workload(module, spec)
+        assert a is not b
+        before = b.read_bytes(0x1000, 4)
+        a.write_bytes(0x1000, b"\xde\xad\xbe\xef")
+        assert b.read_bytes(0x1000, 4) == before
+        globals_a["poison"] = 1
+        assert "poison" not in globals_b
+        args_a.append(999)
+        assert args_b == list(args_b)
+
+    def test_setup_args_are_part_of_the_key(self):
+        spec = SMALL_BLUR
+        module = compile_c(spec.source, spec.name)
+        optimize_module(module)
+        small, _, _ = interned_workload(module, spec)
+        bigger = dataclasses.replace(spec, setup_args=[6, 64])
+        big, _, _ = interned_workload(module, bigger)
+        assert small.snapshot() != big.snapshot()
+
+
+class TestConsumersArePoolSizeInvariant:
+    def test_dse_sweep_bytes_identical_at_any_pool_size(self):
+        space = ConfigSpace(
+            policies=["p1"], n_workers=[1, 2], fifo_depths=[4, 16],
+            private_caches=[False], cache_lines=[512], cache_ports=[8],
+        )
+
+        def sweep(processes):
+            with Explorer(
+                SMALL_BLUR, space=space, processes=processes,
+                max_cycles=2_000_000,
+            ) as explorer:
+                result = explorer.run(GridStrategy())
+            return json.dumps(result.to_json_dict(), sort_keys=True)
+
+        serial = sweep(1)
+        assert sweep(2) == serial
+
+    def test_resilience_report_bytes_identical_at_any_pool_size(self):
+        serial = resilience_sweep(SMALL_BLUR, n_plans=2, seed=5, processes=1)
+        pooled = resilience_sweep(SMALL_BLUR, n_plans=2, seed=5, processes=3)
+        assert serial.format() == pooled.format()
+        assert serial.to_dict() == pooled.to_dict()
+
+    def test_resilience_sweep_accepts_shared_fleet(self):
+        with FleetExecutor(2) as fleet:
+            a = resilience_sweep(
+                SMALL_BLUR, n_plans=1, seed=1, fleet=fleet
+            )
+            b = resilience_sweep(
+                SMALL_BLUR, n_plans=1, seed=1, fleet=fleet
+            )
+        assert a.to_dict() == b.to_dict()
+
+    def test_explorer_external_fleet_not_closed(self):
+        fleet = FleetExecutor(1)
+        space = ConfigSpace(
+            policies=["p1"], n_workers=[1], fifo_depths=[4],
+            private_caches=[False], cache_lines=[512], cache_ports=[8],
+        )
+        explorer = Explorer(SMALL_BLUR, space=space, fleet=fleet)
+        explorer.run(GridStrategy())
+        explorer.close()  # must not shut down the shared fleet
+        assert fleet.map(_double, [2]) == [4]

@@ -3,7 +3,7 @@
 import dataclasses
 
 from repro.frontend import compile_c
-from repro.harness.runner import _setup_workload
+from repro.harness.runner import setup_workload
 from repro.hw import AcceleratorSystem, DirectMappedCache
 from repro.kernels import KS
 from repro.pipeline import ReplicationPolicy, cgpa_compile
@@ -19,7 +19,7 @@ def simulate(private_caches: bool, n_workers: int = 4):
         module, "kernel", shapes=SMALL_KS.shapes_for(module),
         policy=ReplicationPolicy.P1, n_workers=n_workers,
     )
-    memory, globals_, args = _setup_workload(compiled.module, SMALL_KS)
+    memory, globals_, args = setup_workload(compiled.module, SMALL_KS)
     system = AcceleratorSystem(
         compiled.module, memory,
         channels=compiled.result.channels,
@@ -93,7 +93,7 @@ class TestRunReuse:
                 module, "kernel", shapes=SMALL_KS.shapes_for(module),
                 policy=ReplicationPolicy.P1, n_workers=4,
             )
-            memory, globals_, args = _setup_workload(compiled.module, SMALL_KS)
+            memory, globals_, args = setup_workload(compiled.module, SMALL_KS)
             system = AcceleratorSystem(
                 compiled.module, memory,
                 channels=compiled.result.channels,
@@ -114,7 +114,7 @@ class TestRunReuse:
             module, "kernel", shapes=SMALL_KS.shapes_for(module),
             policy=ReplicationPolicy.P1, n_workers=4,
         )
-        memory, globals_, args = _setup_workload(compiled.module, SMALL_KS)
+        memory, globals_, args = setup_workload(compiled.module, SMALL_KS)
         system = AcceleratorSystem(
             compiled.module, memory,
             channels=compiled.result.channels,

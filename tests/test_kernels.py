@@ -141,11 +141,11 @@ class TestKernelSpecs:
             verify_module(module)
 
     def test_setup_publishes_all_args(self):
-        from repro.harness.runner import _setup_workload
+        from repro.harness.runner import setup_workload
         for spec in ALL_KERNELS:
             module = compile_c(spec.source, spec.name)
             optimize_module(module)
-            _, _, args = _setup_workload(module, spec)
+            _, _, args = setup_workload(module, spec)
             assert len(args) == spec.n_kernel_args
             # Pointer arguments must be non-null.
             assert args[0] != 0

@@ -62,6 +62,24 @@ class TestChannelIO:
         io.produce_broadcast(chan, 1)
         assert io.pending() == 2
 
+    def test_deep_queue_order_and_snapshot(self):
+        # Regression: queues are deques now — consuming the head of a
+        # deep queue used to be an O(n) list pop(0), making a full
+        # drain quadratic.  Order and the snapshot view must be
+        # unaffected by the container change.
+        io = ChannelIO()
+        chan = Channel(3, "deep", I32, 0, 1)
+        n = 50_000
+        for v in range(n):
+            io.produce(chan, 0, v)
+        assert io.queue_sizes()[(3, 0)] == n
+        snapshot = io.queue_snapshot()[(3, 0)]
+        assert list(snapshot)[:5] == [0, 1, 2, 3, 4]
+        for expected in range(n):
+            ok, v = io.try_consume(chan, 0)
+            assert ok and v == expected
+        assert io.try_consume(chan, 0) == (False, None)
+
 
 def build_producer_consumer(n_values=10):
     """A two-task pipeline: producer pushes 0..n-1, consumer sums them."""

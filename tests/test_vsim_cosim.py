@@ -46,6 +46,26 @@ class TestBitIdenticalCosim:
         assert "bit-identical" in report.format()
 
 
+class TestRoundSharedQueues:
+    def test_deep_queue_fifo_order(self):
+        # Regression: round queues are deques now — the per-edge head
+        # pop used to be an O(n) list pop(0), quadratic over a deep
+        # FIFO's lifetime.  FIFO order, head peek and extend semantics
+        # must be unchanged.
+        from repro.interp import Memory
+        from repro.vsim.cosim import _RoundShared
+
+        shared = _RoundShared(Memory(), {0: 1}, fifo_depth=4, liveouts={})
+        queue = shared.queue(0, 0)
+        n = 50_000
+        queue.extend(range(n))
+        assert shared.queue(0, 0) is queue  # setdefault, not replace
+        assert queue[0] == 0  # head peek
+        for expected in range(n):
+            assert queue.popleft() == expected
+        assert not queue
+
+
 class TestCosimHarness:
     def test_unknown_kernel_rejected(self):
         with pytest.raises(CgpaError, match="unknown kernel"):
