@@ -18,7 +18,7 @@ import json
 import os
 import time
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.dse import ConfigSpace, Explorer, GridStrategy, ResultCache
 from repro.kernels import KERNELS_BY_NAME
@@ -85,19 +85,14 @@ def test_dse_speed(benchmark, results_dir, json_path, tmp_path):
     ]
     emit(results_dir, "dse_speed", "\n".join(lines))
 
-    if json_path:
-        payload = {
-            "figure": "dse_speed",
-            "kernel": spec.name,
-            "host_cores": cores,
-            "n_points": len(serial.results),
-            "serial_s": serial_s,
-            "pool_s": pool_s,
-            "pool_speedup": pool_speedup,
-            "cold_cached_s": cold_s,
-            "warm_s": warm_s,
-            "warm_speedup": warm_speedup,
-            "warm_hit_rate": warm.hit_rate,
-        }
-        with open(json_path, "w") as fh:
-            json.dump(payload, fh, indent=2)
+    emit_json(results_dir, json_path, "dse_speed", {
+        "host_cores": cores,
+        "n_points": len(serial.results),
+        "serial_s": serial_s,
+        "pool_s": pool_s,
+        "pool_speedup": pool_speedup,
+        "cold_cached_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": warm_speedup,
+        "warm_hit_rate": warm.hit_rate,
+    }, kernel=spec.name)

@@ -9,9 +9,7 @@ Pass ``--json <path>`` to also write the speedup series as JSON, so the
 perf trajectory across PRs is machine-readable (BENCH_*.json tracking).
 """
 
-import json
-
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.harness import figure4, format_figure4, run_backend
 from repro.kernels import EM3D
@@ -23,28 +21,24 @@ def test_figure4_speedups(benchmark, all_runs, results_dir, json_path):
     )
     data = figure4(all_runs)
     emit(results_dir, "fig4_speedup", format_figure4(data))
-    if json_path:
-        payload = {
-            "figure": "fig4_speedup",
-            "kernels": [
-                {
-                    "kernel": r.kernel,
-                    "legup_speedup": r.legup_speedup,
-                    "cgpa_speedup": r.cgpa_speedup,
-                    "paper_legup": r.paper_legup,
-                    "paper_cgpa": r.paper_cgpa,
-                    "mips_cycles": all_runs[r.kernel].results["mips"].cycles,
-                    "legup_cycles": all_runs[r.kernel].results["legup"].cycles,
-                    "cgpa_cycles": all_runs[r.kernel].results["cgpa-p1"].cycles,
-                }
-                for r in data.rows
-            ],
-            "geomean_legup": data.geomean_legup,
-            "geomean_cgpa": data.geomean_cgpa,
-            "geomean_cgpa_over_legup": data.geomean_cgpa_over_legup,
-        }
-        with open(json_path, "w") as fp:
-            json.dump(payload, fp, indent=2)
+    emit_json(results_dir, json_path, "fig4_speedup", {
+        "kernels": [
+            {
+                "kernel": r.kernel,
+                "legup_speedup": r.legup_speedup,
+                "cgpa_speedup": r.cgpa_speedup,
+                "paper_legup": r.paper_legup,
+                "paper_cgpa": r.paper_cgpa,
+                "mips_cycles": all_runs[r.kernel].results["mips"].cycles,
+                "legup_cycles": all_runs[r.kernel].results["legup"].cycles,
+                "cgpa_cycles": all_runs[r.kernel].results["cgpa-p1"].cycles,
+            }
+            for r in data.rows
+        ],
+        "geomean_legup": data.geomean_legup,
+        "geomean_cgpa": data.geomean_cgpa,
+        "geomean_cgpa_over_legup": data.geomean_cgpa_over_legup,
+    })
 
     # Shape assertions: who wins, by roughly what factor.
     for row in data.rows:

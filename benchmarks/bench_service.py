@@ -23,7 +23,7 @@ import statistics
 import threading
 import time
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.service import JobRequest, ServiceClient
 from repro.service.app import ServiceConfig, start_service
@@ -179,29 +179,25 @@ def test_service_load(benchmark, results_dir, json_path, tmp_path):
     ]
     emit(results_dir, "service_load", "\n".join(lines))
 
-    if json_path:
-        payload = {
-            "figure": "service_load",
-            "kernels": KERNELS,
-            "requests_per_pass": N_REQUESTS,
-            "clients": N_CLIENTS,
-            "unique_jobs": len(unique),
-            "cold": {
-                "wall_s": cold_wall,
-                "throughput_rps": N_REQUESTS / cold_wall,
-                "p50_ms": 1e3 * _percentile(cold_lat, 0.50),
-                "p99_ms": 1e3 * _percentile(cold_lat, 0.99),
-            },
-            "warm": {
-                "wall_s": warm_wall,
-                "throughput_rps": N_REQUESTS / warm_wall,
-                "p50_ms": 1e3 * _percentile(warm_lat, 0.50),
-                "p99_ms": 1e3 * _percentile(warm_lat, 0.99),
-            },
-            "executed": queue_cold["executed"],
-            "coalesced": queue_cold["coalesced"],
-            "warm_served_ratio": warm_served,
-            "store_hit_rate": hit_rate,
-        }
-        with open(json_path, "w") as fh:
-            json.dump(payload, fh, indent=2)
+    emit_json(results_dir, json_path, "service_load", {
+        "kernels": KERNELS,
+        "requests_per_pass": N_REQUESTS,
+        "clients": N_CLIENTS,
+        "unique_jobs": len(unique),
+        "cold": {
+            "wall_s": cold_wall,
+            "throughput_rps": N_REQUESTS / cold_wall,
+            "p50_ms": 1e3 * _percentile(cold_lat, 0.50),
+            "p99_ms": 1e3 * _percentile(cold_lat, 0.99),
+        },
+        "warm": {
+            "wall_s": warm_wall,
+            "throughput_rps": N_REQUESTS / warm_wall,
+            "p50_ms": 1e3 * _percentile(warm_lat, 0.50),
+            "p99_ms": 1e3 * _percentile(warm_lat, 0.99),
+        },
+        "executed": queue_cold["executed"],
+        "coalesced": queue_cold["coalesced"],
+        "warm_served_ratio": warm_served,
+        "store_hit_rate": hit_rate,
+    })

@@ -15,10 +15,9 @@ speedup over the event engine on at least 3 of the 5 kernels.  Pass
 ``--json <path>`` for BENCH_sim_specialize.json perf tracking.
 """
 
-import json
 import time
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.frontend import compile_c
 from repro.harness.runner import setup_workload
@@ -114,15 +113,11 @@ def test_sim_specialize(benchmark, results_dir, json_path):
     )
     emit(results_dir, "sim_specialize", "\n".join(lines))
 
-    if json_path:
-        payload = {
-            "figure": "sim_specialize",
-            "rows": rows,
-            "kernels_at_2x": len(at_2x),
-            "required_at_2x": REQUIRED_2X_KERNELS,
-        }
-        with open(json_path, "w") as fp:
-            json.dump(payload, fp, indent=2)
+    emit_json(results_dir, json_path, "sim_specialize", {
+        "rows": rows,
+        "kernels_at_2x": len(at_2x),
+        "required_at_2x": REQUIRED_2X_KERNELS,
+    })
 
     # Acceptance bar: the closure compilation pays for itself broadly,
     # not on one cherry-picked workload.

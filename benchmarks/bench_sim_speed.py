@@ -16,10 +16,9 @@ speedup on at least one stall-dominated kernel.  Pass ``--json <path>``
 to also write the timings as JSON (BENCH_sim_speed.json perf tracking).
 """
 
-import json
 import time
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.frontend import compile_c
 from repro.harness.runner import setup_workload
@@ -112,15 +111,11 @@ def test_sim_speed(benchmark, results_dir, json_path):
     )
     emit(results_dir, "sim_speed", "\n".join(lines))
 
-    if json_path:
-        payload = {
-            "figure": "sim_speed",
-            "rows": rows,
-            "best_stall_heavy_speedup": best["speedup"],
-            "best_stall_heavy_kernel": best["kernel"],
-        }
-        with open(json_path, "w") as fp:
-            json.dump(payload, fp, indent=2)
+    emit_json(results_dir, json_path, "sim_speed", {
+        "rows": rows,
+        "best_stall_heavy_speedup": best["speedup"],
+        "best_stall_heavy_kernel": best["kernel"],
+    })
 
     # Acceptance bar: the skip-ahead pays for itself where stalls dominate.
     assert best["speedup"] >= 3.0, best

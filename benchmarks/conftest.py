@@ -1,5 +1,6 @@
 """Shared fixtures: run every kernel on every backend once per session."""
 
+import json
 import pathlib
 
 import pytest
@@ -40,3 +41,28 @@ def emit(results_dir, name: str, text: str) -> None:
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(results_dir, json_path, figure: str, payload: dict,
+              kernel: str | None = None) -> None:
+    """Persist a bench payload as a ``bench`` run envelope.
+
+    The measured numbers stay under the record's ``payload`` key; the
+    envelope adds schema version, run id, timestamp and the config hash
+    the obs query layer filters on.  Two copies are written:
+
+    * ``json_path`` (when ``--json`` was passed) — the ``BENCH_*.json``
+      perf-tracking form CI archives;
+    * ``results_dir`` as an artifact-store root — one content-addressed
+      envelope per run plus the append-only ``envelopes.jsonl`` journal,
+      so ``python -m repro.harness obs query benchmarks/results`` sees
+      bench trends alongside every other subsystem's runs (both are
+      scratch output, not committed).
+    """
+    from repro.obs.emit import EnvelopeWriter, bench_envelope
+
+    envelope = bench_envelope(figure, payload, kernel=kernel)
+    EnvelopeWriter(results_dir).write(envelope)
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(envelope.to_dict(), fh, indent=2, sort_keys=True)

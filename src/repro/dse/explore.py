@@ -65,7 +65,14 @@ class SweepResult:
         return pareto_frontier(self.results, objectives)
 
     def to_json_dict(self) -> dict:
-        """Deterministic report form (no wall-clock, no cache provenance)."""
+        """Deterministic report form (no wall-clock, no cache provenance).
+
+        .. deprecated::
+            As a *standalone* report format.  This dict is now the
+            ``payload`` of a ``dse-sweep`` :class:`~repro.obs.RunEnvelope`
+            (see :func:`repro.obs.emit.sweep_envelope`); the legacy JSON
+            mirror files keep exactly this shape for compatibility.
+        """
         frontier_labels = [r.point.label for r in self.frontier()]
         return {
             "kernel": self.kernel,
@@ -76,6 +83,23 @@ class SweepResult:
             "frontier": frontier_labels,
             "results": [r.to_dict() for r in self.results],
         }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_json_dict` output (or from a
+        ``dse-sweep`` envelope payload, which wraps the same dict).
+
+        Cache provenance and wall-clock were deliberately excluded from
+        the deterministic form, so they come back zeroed — exactly the
+        state :func:`repro.harness.report.format_pareto` renders without
+        a cache line, keeping reconstructed reports byte-identical to a
+        cache-less run's output.
+        """
+        return cls(
+            kernel=data["kernel"],
+            strategy=data["strategy"],
+            results=[EvalResult.from_dict(r) for r in data.get("results", [])],
+        )
 
 
 #: Per-process evaluator memo: compiled pipelines survive across pool
@@ -126,13 +150,21 @@ class Explorer:
         max_cycles: int = DEFAULT_EVAL_MAX_CYCLES,
         engine: str = "event",
         fleet: FleetExecutor | None = None,
+        envelopes=None,
     ) -> None:
+        """``envelopes`` is an optional
+        :class:`~repro.obs.emit.EnvelopeWriter`: when set, every freshly
+        evaluated point (cache misses; hits were journalled when first
+        computed) is persisted as a ``dse-eval`` run envelope.  Emission
+        happens in the parent process — the writer never crosses the
+        pool boundary, so the byte-determinism contract is untouched."""
         self.spec = spec
         self.space = space if space is not None else ConfigSpace()
         self.cache = cache
         self.processes = max(1, processes)
         self.max_cycles = max_cycles
         self.engine = engine
+        self.envelopes = envelopes
         # An externally supplied fleet is shared (and owned) by the
         # caller; otherwise the explorer lazily creates its own and
         # reuses it across every batch and run.
@@ -183,13 +215,14 @@ class Explorer:
         slots: list[EvalResult | None] = [None] * len(batch)
         misses: list[tuple[int, DesignPoint]] = []
         keys: dict[int, str] = {}
+        want_keys = self.cache is not None or self.envelopes is not None
         for index, point in enumerate(batch):
-            if self.cache is not None:
-                key = result_key(
+            if want_keys:
+                keys[index] = result_key(
                     self.spec, point, self.max_cycles, self.engine
                 )
-                keys[index] = key
-                stored = self.cache.get(key)
+            if self.cache is not None:
+                stored = self.cache.get(keys[index])
                 if stored is not None:
                     result = EvalResult.from_dict(stored)
                     result.from_cache = True
@@ -203,6 +236,17 @@ class Explorer:
             slots[index] = result
             if self.cache is not None:
                 self.cache.put(keys[index], result.to_dict())
+            if self.envelopes is not None:
+                from ..obs.emit import eval_envelope
+
+                self.envelopes.write(
+                    eval_envelope(
+                        result,
+                        kernel=self.spec.name,
+                        engine=self.engine,
+                        config_hash=keys[index],
+                    )
+                )
         assert all(r is not None for r in slots)
         return slots  # type: ignore[return-value]
 

@@ -29,6 +29,7 @@ size.  Each pool process compiles the sweep configuration once
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..errors import (
@@ -81,6 +82,13 @@ class FaultRunRecord:
             "triggered": self.triggered,
             "diagnosis": self.diagnosis,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRunRecord":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kept = {k: v for k, v in data.items() if k in known}
+        kept["plan"] = FaultPlan.from_dict(kept["plan"])
+        return cls(**kept)
 
 
 @dataclass
@@ -152,6 +160,14 @@ class ResilienceReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        """JSON-ready report form.
+
+        .. deprecated::
+            As a *standalone* report format.  This dict is now the
+            ``payload`` of a ``faults`` :class:`~repro.obs.RunEnvelope`
+            (see :func:`repro.obs.emit.faults_envelope`); the legacy
+            artifact mirrors keep exactly this shape for compatibility.
+        """
         return {
             "kernel": self.kernel,
             "seed": self.seed,
@@ -165,6 +181,24 @@ class ResilienceReport:
             "corruptions_detected": self.corruptions_detected,
             "records": [r.to_dict() for r in self.records],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceReport":
+        """Rebuild a report from :meth:`to_dict` output (or a ``faults``
+        envelope payload).  The aggregate counters in the dict are
+        derived state — they come back from the records, so
+        :meth:`format` regenerates the original text byte-identically."""
+        return cls(
+            kernel=data["kernel"],
+            seed=data["seed"],
+            n_plans=data["n_plans"],
+            baseline_cycles=data["baseline_cycles"],
+            oracle_checksum=data["oracle_checksum"],
+            oracle_return=data.get("oracle_return"),
+            records=[
+                FaultRunRecord.from_dict(r) for r in data.get("records", [])
+            ],
+        )
 
 
 def plan_seeds(seed: int, n: int) -> list[int]:

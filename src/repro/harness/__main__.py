@@ -15,11 +15,17 @@ Usage::
                                            # Verilog against the oracle
     python -m repro.harness serve          # long-lived compile/simulate/
                                            # explore HTTP service
+    python -m repro.harness obs query      # query the run-record spine
+    python -m repro.harness obs diff A B   # regression diff two journals
+    python -m repro.harness obs report     # render the HTML dashboard
 
-The ``trace``/``dse``/``faults`` subcommands persist their result JSON
-in the content-addressed artifact store (default ``./.cgpa-store``, the
-same store the service uses), with the historical output paths kept as
-symlinks/copies of the stored artifact.
+The ``trace``/``dse``/``faults``/``rtl`` subcommands persist their
+result JSON in the content-addressed artifact store (default
+``./.cgpa-store``, the same store the service uses), with the
+historical output paths kept as symlinks/copies of the stored artifact.
+Every run-producing path additionally journals a versioned
+:class:`~repro.obs.RunEnvelope` into ``<store>/envelopes.jsonl``; the
+``obs`` subcommand queries, diffs and renders that journal.
 
 Every subcommand turns a simulator or compiler failure
 (:class:`~repro.errors.CgpaError`) into a one-line ``error:`` diagnosis
@@ -83,16 +89,18 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _publish_artifact(
-    store_root: pathlib.Path,
-    key: str,
-    artifact: dict,
-    mirror: pathlib.Path | None,
-) -> pathlib.Path:
-    """Persist ``artifact`` under ``key``, mirroring the legacy path."""
-    from ..service.store import ArtifactStore, publish
+def _envelope_writer(store_root: pathlib.Path):
+    """The run-record writer for one store root.
 
-    return publish(ArtifactStore(store_root), key, artifact, mirror=mirror)
+    All subcommand result writes route through
+    :meth:`repro.obs.emit.EnvelopeWriter.publish_run`: the legacy
+    artifact (and its historical mirror path) is written exactly as
+    before, and a :class:`~repro.obs.RunEnvelope` lands in the store's
+    ``envelopes.jsonl`` journal as the canonical run record.
+    """
+    from ..obs.emit import EnvelopeWriter
+
+    return EnvelopeWriter(store_root)
 
 
 def dse_main(argv: list[str]) -> int:
@@ -228,6 +236,7 @@ def dse_main(argv: list[str]) -> int:
             objective=args.objective, max_evals=args.max_evals
         ),
     }[args.strategy]()
+    writer = _envelope_writer(args.store)
     explorer = Explorer(
         spec,
         space,
@@ -235,6 +244,7 @@ def dse_main(argv: list[str]) -> int:
         processes=args.processes,
         max_cycles=args.max_cycles or DEFAULT_EVAL_MAX_CYCLES,
         engine=args.engine,
+        envelopes=writer,
     )
     print(f"Exploring {space.size}-point space for {spec.name} "
           f"({args.strategy} strategy, {args.processes} process(es))...")
@@ -260,9 +270,12 @@ def dse_main(argv: list[str]) -> int:
         "engine": args.engine,
         "max_cycles": args.max_cycles or DEFAULT_EVAL_MAX_CYCLES,
     })
+    from ..obs.emit import sweep_envelope
+
     out_path = args.out / f"dse_{spec.name}_{args.strategy}.json"
-    stored = _publish_artifact(
-        args.store, request.key, {"kind": "dse", **sweep.to_json_dict()},
+    stored = writer.publish_run(
+        request.key, {"kind": "dse", **sweep.to_json_dict()},
+        sweep_envelope(sweep, engine=args.engine, config_hash=request.key),
         mirror=out_path,
     )
     print()
@@ -353,8 +366,11 @@ def faults_main(argv: list[str]) -> int:
         "fifo_depth": args.fifo_depth,
         "max_cycles": args.max_cycles,
     })
-    stored = _publish_artifact(
-        args.store, request.key, {"kind": "faults", **report.to_dict()},
+    from ..obs.emit import faults_envelope
+
+    stored = _envelope_writer(args.store).publish_run(
+        request.key, {"kind": "faults", **report.to_dict()},
+        faults_envelope(report, engine=args.engine, config_hash=request.key),
         mirror=args.json,
     )
     # stderr: stdout must stay byte-identical across engines (the CI
@@ -413,6 +429,7 @@ def rtl_main(argv: list[str]) -> int:
         help="also write each round's Verilog modules plus oracle-"
         "scripted testbenches into DIR",
     )
+    _add_store_argument(parser)
     args = parser.parse_args(argv)
 
     from ..vsim.cosim import run_rtl_cosim
@@ -434,6 +451,24 @@ def rtl_main(argv: list[str]) -> int:
         **kwargs,
     )
     print(report.format())
+
+    from ..obs.emit import cosim_envelope
+    from ..service.contracts import JobRequest
+
+    options = {
+        "policy": args.policy,
+        "n_workers": args.workers,
+        "fifo_depth": args.fifo_depth,
+        "setup_args": setup_args,
+    }
+    if args.max_cycles is not None:
+        options["max_cycles"] = args.max_cycles
+    request = JobRequest.make("rtl", spec.name, options=options)
+    stored = _envelope_writer(args.store).publish_run(
+        request.key, {"kind": "rtl", **report.to_dict()},
+        cosim_envelope(report, config_hash=request.key),
+    )
+    print(f"artifact {request.key[:12]}… -> {stored}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -514,8 +549,16 @@ def trace_main(argv: list[str]) -> int:
         "engine": args.engine,
         "max_cycles": args.max_cycles,
     })
-    _publish_artifact(
-        args.store, trace_key, to_chrome_trace(sink), mirror=trace_path
+    from ..obs.emit import sim_envelope
+
+    _envelope_writer(args.store).publish_run(
+        trace_key, to_chrome_trace(sink),
+        sim_envelope(
+            sim, kernel=spec.name, engine=args.engine,
+            config_hash=trace_key, backend=args.backend,
+            area=result.area, power=result.power,
+        ),
+        mirror=trace_path,
     )
     dump_vcd(sink, str(vcd_path))
     analysis = analyze(sim, sink)
@@ -596,6 +639,213 @@ def serve_main(argv: list[str]) -> int:
     return 0
 
 
+def _journal_kernel_run(args, spec, run) -> None:
+    """Persist one ``sim`` envelope per hardware backend of a kernel run."""
+    from ..cost import COST_MODEL_VERSION
+    from ..obs.emit import sim_envelope
+    from ..service.store import content_key
+
+    writer = _envelope_writer(args.store)
+    for backend, result in run.results.items():
+        if result.sim is None:  # cost-model-only backends (mips/legup)
+            continue
+        config_hash = content_key({
+            "kind": "sim",
+            "cost_model": COST_MODEL_VERSION,
+            "kernel": spec.name,
+            "source": spec.source,
+            "backend": backend,
+            "n_workers": args.workers,
+            "engine": args.engine,
+            "max_cycles": args.max_cycles,
+        })
+        writer.write(sim_envelope(
+            result.sim, kernel=spec.name, engine=args.engine,
+            config_hash=config_hash, backend=backend,
+            area=result.area, power=result.power,
+        ))
+    print(f"run envelopes -> {args.store}/envelopes.jsonl", file=sys.stderr)
+
+
+def obs_main(argv: list[str]) -> int:
+    """``python -m repro.harness obs`` — query the run-record spine."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness obs",
+        description="Query, diff and render the run envelopes every "
+        "subcommand journals into its artifact store "
+        "(<store>/envelopes.jsonl).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    from ..obs.envelope import ENVELOPE_KINDS
+    from ..obs.query import GROUP_KEYS, METRICS
+
+    query = sub.add_parser(
+        "query", help="load, validate, filter and aggregate envelopes",
+        description="Load a journal, validate every record, and print "
+        "matching envelopes (or aggregates, legacy reports, or raw JSON).",
+    )
+    query.add_argument(
+        "journal", type=pathlib.Path, nargs="?",
+        default=pathlib.Path(".cgpa-store"),
+        help="envelopes.jsonl, a store root containing one, or a "
+        "directory of envelope JSON files (default: ./.cgpa-store)",
+    )
+    query.add_argument("--kind", choices=ENVELOPE_KINDS, default=None,
+                       help="keep only this run kind")
+    query.add_argument("--kernel", default=None,
+                       help="keep only this kernel")
+    query.add_argument("--engine", default=None,
+                       help="keep only this simulator engine")
+    query.add_argument("--config-hash", default=None, metavar="PREFIX",
+                       help="keep only runs whose config hash starts with "
+                       "PREFIX")
+    query.add_argument("--status", default=None,
+                       help="keep only this run status")
+    query.add_argument("--since", default=None, metavar="TS",
+                       help="keep runs at/after this UTC timestamp (prefix "
+                       "allowed, e.g. 2026-08-07)")
+    query.add_argument("--until", default=None, metavar="TS",
+                       help="keep runs at/before this UTC timestamp (prefix "
+                       "allowed)")
+    query.add_argument("--group-by", default=None, metavar="KEY[,KEY]",
+                       help=f"aggregate per group; keys: {', '.join(GROUP_KEYS)}")
+    query.add_argument("--metric", default="cycles", choices=METRICS,
+                       help="metric to aggregate (default: cycles)")
+    query.add_argument("--strict", action="store_true",
+                       help="fail (exit 1) on any invalid record instead of "
+                       "skipping it")
+    query.add_argument("--report", action="store_true",
+                       help="regenerate the legacy text report "
+                       "(Pareto table / faults verdicts / stall breakdown) "
+                       "from each matching envelope, byte-identical to the "
+                       "original CLI output")
+    query.add_argument("--json", action="store_true",
+                       help="print matching envelopes as a JSON array")
+    query.set_defaults(func=_obs_query)
+
+    diff = sub.add_parser(
+        "diff", help="regression diff between two journals",
+        description="Compare the latest run per (kind, kernel, engine, "
+        "config hash) between two journals and flag metric regressions.",
+    )
+    diff.add_argument("base", type=pathlib.Path,
+                      help="baseline journal or store root")
+    diff.add_argument("new", type=pathlib.Path,
+                      help="candidate journal or store root")
+    diff.add_argument("--metric", default="cycles", choices=METRICS,
+                      help="metric to compare (default: cycles)")
+    diff.add_argument("--threshold", type=float, default=0.0,
+                      metavar="FRACTION",
+                      help="relative slack before a higher value counts as "
+                      "a regression (default: 0.0; 0.02 tolerates 2%%)")
+    diff.add_argument("--fail-on-regression", action="store_true",
+                      help="exit 1 when any identity regressed")
+    diff.set_defaults(func=_obs_diff)
+
+    report = sub.add_parser(
+        "report", help="render the static HTML dashboard",
+        description="Render the journal as one dependency-free HTML page "
+        "(inline CSS/JS/SVG; renders from file:// and CI artifact "
+        "viewers).",
+    )
+    report.add_argument(
+        "journal", type=pathlib.Path, nargs="?",
+        default=pathlib.Path(".cgpa-store"),
+        help="envelopes.jsonl or a store root (default: ./.cgpa-store)",
+    )
+    report.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("obs-dashboard.html"),
+        help="output HTML path (default: ./obs-dashboard.html)",
+    )
+    report.add_argument("--title", default="CGPA run dashboard",
+                        help="page title")
+    report.add_argument("--strict", action="store_true",
+                        help="fail (exit 1) on any invalid record")
+    report.set_defaults(func=_obs_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def _obs_query(args) -> int:
+    from ..obs.query import load_envelopes, render_legacy_report
+
+    envelopes = load_envelopes(args.journal, strict=args.strict)
+    for error in envelopes.errors:
+        print(f"warning: skipped invalid record: {error}", file=sys.stderr)
+    subset = envelopes.filter(
+        kind=args.kind, kernel=args.kernel, engine=args.engine,
+        config_hash=args.config_hash, status=args.status,
+        since=args.since, until=args.until,
+    )
+    if args.report:
+        texts = [render_legacy_report(env) for env in subset]
+        texts = [text for text in texts if text is not None]
+        if not texts:
+            print("error: no matching envelope has a legacy text report "
+                  "(kinds: dse-sweep, faults, sim)", file=sys.stderr)
+            return 1
+        print("\n\n".join(texts))
+        return 0
+    if args.json:
+        print(json.dumps([env.to_dict() for env in subset],
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{len(subset)}/{len(envelopes)} envelopes from {envelopes.source}")
+    if args.group_by:
+        keys = [key for key in args.group_by.split(",") if key]
+        for group, members in subset.group_by(*keys).items():
+            stats = members.aggregate(args.metric)
+            label = " ".join("-" if v is None else str(v) for v in group)
+            described = (
+                f"{args.metric} min={stats['min']} max={stats['max']} "
+                f"latest={stats['latest']}"
+                if stats["measured"] else f"no {args.metric} measured"
+            )
+            print(f"  {label}: {stats['runs']} run(s), {described}")
+        return 0
+    for env in subset:
+        cycles = "-" if env.cycles is None else str(env.cycles)
+        print(f"  {env.timestamp}  {env.kind:<11} "
+              f"{env.kernel or '-':<14} {env.engine or '-':<11} "
+              f"{env.status or '-':<9} {cycles:>9}  {env.run_id}")
+    return 0
+
+
+def _obs_diff(args) -> int:
+    from ..obs.query import diff_envelope_sets, load_envelopes
+
+    base = load_envelopes(args.base)
+    new = load_envelopes(args.new)
+    diffs = diff_envelope_sets(
+        base, new, metric=args.metric, threshold=args.threshold
+    )
+    for entry in diffs:
+        print(entry.format())
+    regressed = sum(1 for entry in diffs if entry.regressed)
+    improved = sum(1 for entry in diffs if not entry.regressed and entry.delta < 0)
+    print(f"{len(diffs)} identities compared: {regressed} regressed, "
+          f"{improved} improved, {len(diffs) - regressed - improved} unchanged")
+    if args.fail_on_regression and regressed:
+        return 1
+    return 0
+
+
+def _obs_report(args) -> int:
+    from ..obs.dashboard import render_dashboard
+    from ..obs.query import load_envelopes
+
+    envelopes = load_envelopes(args.journal, strict=args.strict)
+    page = render_dashboard(envelopes, title=args.title)
+    if args.out.parent != pathlib.Path(""):
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(page)
+    print(f"dashboard: {args.out} ({len(envelopes)} runs, "
+          f"{len(envelopes.errors)} invalid)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, dispatch, and fold model failures into exit 1.
 
@@ -628,6 +878,8 @@ def _dispatch(argv: list[str]) -> int:
         return rtl_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return obs_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -655,6 +907,7 @@ def _dispatch(argv: list[str]) -> int:
         help="simulated-cycle budget per backend run; a run exceeding it "
         "fails with a one-line CycleBudgetExceeded diagnosis (default: 500M)",
     )
+    _add_store_argument(parser)
     args = parser.parse_args(argv)
 
     if args.kernel:
@@ -670,6 +923,7 @@ def _dispatch(argv: list[str]) -> int:
             extra = f" partition={result.signature}" if result.signature else ""
             print(f"  {backend:8s}: {result.cycles:8d} cycles "
                   f"({mips / result.cycles:5.2f}x vs MIPS){extra}")
+        _journal_kernel_run(args, spec, run)
         cgpa = run.results.get("cgpa-p1")
         if cgpa is not None and cgpa.sim is not None:
             print()

@@ -13,7 +13,7 @@ Misses additionally serialise on the single memory channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..faults.plan import NULL_INJECTOR
 from ..telemetry.events import NULL_SINK, TraceSink
@@ -48,6 +48,20 @@ class CacheStats:
         self.writebacks += other.writebacks
         self.port_conflicts += other.port_conflicts
         self.prefetches += other.prefetches
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "port_conflicts": self.port_conflicts,
+            "prefetches": self.prefetches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class DirectMappedCache:

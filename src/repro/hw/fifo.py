@@ -14,7 +14,7 @@ traced run can reconstruct every queue's fill level over time.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
@@ -43,6 +43,23 @@ class FifoStats:
     #: (:mod:`repro.telemetry.bottleneck`) can tell saturation from slack.
     depth: int = 0
     n_queues: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "full_stall_cycles": self.full_stall_cycles,
+            "empty_stall_cycles": self.empty_stall_cycles,
+            "max_occupancy": self.max_occupancy,
+            "flushed": self.flushed,
+            "depth": self.depth,
+            "n_queues": self.n_queues,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FifoStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class FifoBuffer:

@@ -10,6 +10,8 @@ that invoke the accelerator once per outer-loop iteration, like the
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from ..faults.plan import NULL_INJECTOR
@@ -43,6 +45,9 @@ class SimReport:
     cache_stats: CacheStats
     fifo_stats: dict[str, object]
     invocations: int
+    #: Final liveout register file (liveout id -> value), identical across
+    #: engines; its checksum is the cheap cross-engine equivalence probe.
+    liveouts: dict[int, int | float] = field(default_factory=dict)
 
     @property
     def total_ops(self) -> int:
@@ -61,6 +66,72 @@ class SimReport:
         return {
             name: stats.breakdown() for name, stats in self.worker_stats.items()
         }
+
+    def liveouts_checksum(self) -> str:
+        """Content hash of (liveouts, return value) — equal across engines
+        iff the runs were functionally identical."""
+        body = json.dumps(
+            {
+                "liveouts": {str(k): self.liveouts[k] for k in sorted(self.liveouts)},
+                "return_value": self.return_value,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        """Complete JSON-ready form of the run outcome.
+
+        This is the one public serialisation of a simulation — harness
+        and service call sites should use it instead of picking fields
+        ad hoc.  ``from_dict(to_dict(r))`` rebuilds an equal report.
+        """
+        return {
+            "cycles": self.cycles,
+            "return_value": self.return_value,
+            "invocations": self.invocations,
+            "worker_stats": {
+                name: stats.to_dict()
+                for name, stats in self.worker_stats.items()
+            },
+            "cache_stats": self.cache_stats.to_dict(),
+            "fifo_stats": {
+                name: stats.to_dict()
+                for name, stats in self.fifo_stats.items()
+            },
+            "liveouts": {
+                str(k): self.liveouts[k] for k in sorted(self.liveouts)
+            },
+            "liveouts_checksum": self.liveouts_checksum(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Unknown keys are dropped (forward compatibility, same policy as
+        :meth:`repro.dse.evaluate.EvalResult.from_dict`); the stored
+        ``liveouts_checksum`` is derived state and recomputed on demand.
+        """
+        from .fifo import FifoStats
+
+        return cls(
+            cycles=data["cycles"],
+            return_value=data.get("return_value"),
+            worker_stats={
+                name: WorkerStats.from_dict(stats)
+                for name, stats in (data.get("worker_stats") or {}).items()
+            },
+            cache_stats=CacheStats.from_dict(data.get("cache_stats") or {}),
+            fifo_stats={
+                name: FifoStats.from_dict(stats)
+                for name, stats in (data.get("fifo_stats") or {}).items()
+            },
+            invocations=data.get("invocations", 0),
+            liveouts={
+                int(k): v for k, v in (data.get("liveouts") or {}).items()
+            },
+        )
 
 
 class AcceleratorSystem:
@@ -277,6 +348,7 @@ class AcceleratorSystem:
             cache_stats=self._aggregate_cache_stats(),
             fifo_stats=fifo_stats,
             invocations=self.invocations,
+            liveouts=dict(self.liveout_regs),
         )
         self._workers = []
         return report

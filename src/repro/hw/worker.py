@@ -14,7 +14,7 @@ functionally exact and only timing is modelled.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
@@ -106,6 +106,31 @@ class WorkerStats:
             CycleCategory.JOIN.value: self.join_stall_cycles,
             CycleCategory.IDLE.value: self.idle_cycles,
         }
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``ops_executed`` becomes a key-sorted dict)."""
+        return {
+            "active_cycles": self.active_cycles,
+            "idle_cycles": self.idle_cycles,
+            "mem_stall_cycles": self.mem_stall_cycles,
+            "fifo_full_stall_cycles": self.fifo_full_stall_cycles,
+            "fifo_empty_stall_cycles": self.fifo_empty_stall_cycles,
+            "join_stall_cycles": self.join_stall_cycles,
+            "ops_executed": {
+                op: self.ops_executed[op] for op in sorted(self.ops_executed)
+            },
+            "loads": self.loads,
+            "stores": self.stores,
+            "fifo_pushes": self.fifo_pushes,
+            "fifo_pops": self.fifo_pops,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkerStats":
+        known = {f.name for f in fields(cls)}
+        kept = {k: v for k, v in data.items() if k in known}
+        kept["ops_executed"] = Counter(kept.get("ops_executed") or {})
+        return cls(**kept)
 
 
 class _Frame:

@@ -1,0 +1,67 @@
+"""repro.obs — the structured run-record spine.
+
+Every subsystem that *runs* something (simulation, DSE, fault sweeps,
+RTL co-simulation, service jobs, benchmarks) historically invented its
+own report shape.  This package unifies them behind one versioned,
+typed **run envelope** (wide-event style): a single JSON record per run
+carrying the config hash, engine, cycle count, stall breakdown,
+cost-model outputs and the subsystem's verdict payload, persisted
+through the content-addressed :class:`~repro.service.store.ArtifactStore`
+plus an append-only ``envelopes.jsonl`` journal per store root.
+
+Layers:
+
+* :mod:`repro.obs.envelope` — the :class:`RunEnvelope` schema and its
+  strict, forward-compatible serialisation;
+* :mod:`repro.obs.emit` — the :class:`EnvelopeWriter` plus one builder
+  per subsystem report shape;
+* :mod:`repro.obs.query` — ingestion (journal / store / directory),
+  validation, filter / group-by / aggregate, and regression diffs;
+* :mod:`repro.obs.dashboard` — a dependency-free static HTML report.
+
+CLI: ``python -m repro.harness obs query|diff|report``.
+"""
+
+from .envelope import (
+    ENVELOPE_KINDS,
+    SCHEMA_VERSION,
+    EnvelopeError,
+    RunEnvelope,
+)
+from .emit import (
+    EnvelopeWriter,
+    bench_envelope,
+    cosim_envelope,
+    eval_envelope,
+    faults_envelope,
+    job_envelope,
+    sim_envelope,
+    sweep_envelope,
+)
+from .query import (
+    EnvelopeSet,
+    MetricDiff,
+    diff_envelope_sets,
+    load_envelopes,
+)
+from .dashboard import render_dashboard
+
+__all__ = [
+    "ENVELOPE_KINDS",
+    "SCHEMA_VERSION",
+    "EnvelopeError",
+    "RunEnvelope",
+    "EnvelopeWriter",
+    "bench_envelope",
+    "cosim_envelope",
+    "eval_envelope",
+    "faults_envelope",
+    "job_envelope",
+    "sim_envelope",
+    "sweep_envelope",
+    "EnvelopeSet",
+    "MetricDiff",
+    "diff_envelope_sets",
+    "load_envelopes",
+    "render_dashboard",
+]

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..fleet import FleetExecutor
+from ..obs.emit import EnvelopeWriter
 from .contracts import ContractError, JobRequest
 from .queue import JobQueue
 from .ratelimit import DEFAULT_CAPACITY, DEFAULT_REFILL_PER_S, RateLimiter
@@ -94,9 +95,12 @@ class CgpaService:
             FleetExecutor(self.config.processes)
             if self.config.processes > 1 else None
         )
+        # Every executed job lands in the store's run journal, so one
+        # `harness obs query <store>` covers the service's whole history.
+        self.envelopes = EnvelopeWriter(self.store)
         self.queue = JobQueue(
             self.store, workers=self.config.workers, run=run,
-            fleet=self.fleet,
+            fleet=self.fleet, envelopes=self.envelopes,
         )
         limiter_kwargs = {} if clock is None else {"clock": clock}
         self.limiter = RateLimiter(

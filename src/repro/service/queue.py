@@ -97,8 +97,16 @@ class JobQueue:
         run: Callable[[JobRequest], dict] | None = None,
         max_records: int = 10_000,
         fleet: FleetExecutor | None = None,
+        envelopes=None,
     ) -> None:
+        """``envelopes`` is an optional
+        :class:`~repro.obs.emit.EnvelopeWriter`: when set, every job that
+        actually executes (cache short-circuits and coalesced attachments
+        run no work, so they journal nothing) persists a ``service-job``
+        run envelope referencing its artifact key.  Emission happens on
+        the event-loop thread, after the artifact is stored."""
         self.store = store
+        self.envelopes = envelopes
         self.workers = max(1, workers)
         #: A non-serial fleet moves the default executor onto its process
         #: pool.  A custom ``run`` pins execution to the thread pool (it
@@ -237,6 +245,12 @@ class JobQueue:
                 self.store.put(record.key, artifact)
                 record.status = "done"
                 self.stats.executed += 1
+                if self.envelopes is not None:
+                    from ..obs.emit import job_envelope
+
+                    self.envelopes.write(
+                        job_envelope(record.to_dict(), artifact)
+                    )
             except asyncio.CancelledError:
                 record.status = "failed"
                 record.error = "service shutting down"
