@@ -174,7 +174,11 @@ class Explorer:
     @property
     def fleet(self) -> FleetExecutor:
         if self._fleet is None:
-            self._fleet = FleetExecutor(self.processes)
+            self._fleet = FleetExecutor(
+                self.processes,
+                envelopes=self.envelopes,
+                context={"subsystem": "dse", "kernel": self.spec.name},
+            )
         return self._fleet
 
     def close(self) -> None:
@@ -232,8 +236,11 @@ class Explorer:
             misses.append((index, point))
         sweep.cache_misses += len(misses)
 
-        for index, result in self._evaluate_misses(misses):
-            slots[index] = result
+        def persist(index: int, result: EvalResult) -> None:
+            # Fires the moment a shard lands (checkpointing: a killed
+            # sweep restarted against the same cache replays everything
+            # persisted so far).  cache keys are content addresses, so
+            # completion-order writes are order-independent.
             if self.cache is not None:
                 self.cache.put(keys[index], result.to_dict())
             if self.envelopes is not None:
@@ -247,11 +254,16 @@ class Explorer:
                         config_hash=keys[index],
                     )
                 )
+
+        for index, result in self._evaluate_misses(misses, persist):
+            slots[index] = result
         assert all(r is not None for r in slots)
         return slots  # type: ignore[return-value]
 
     def _evaluate_misses(
-        self, misses: list[tuple[int, DesignPoint]]
+        self,
+        misses: list[tuple[int, DesignPoint]],
+        persist=None,
     ) -> list[tuple[int, EvalResult]]:
         if not misses:
             return []
@@ -263,13 +275,21 @@ class Explorer:
             (self.spec, self.max_cycles, self.engine, group)
             for group in groups.values()
         ]
+        results_by_index: dict[int, EvalResult] = {}
+
+        def on_shard(_task_index: int, shard) -> None:
+            for index, data in shard:
+                result = EvalResult.from_dict(data)
+                results_by_index[index] = result
+                if persist is not None:
+                    persist(index, result)
+
         # Serial and pooled runs route through the same fleet task and
         # round-trip results through the same dict form, so reports are
-        # byte-identical at any pool size.
-        shards = self.fleet.map(_evaluate_group, tasks)
+        # byte-identical at any pool size.  on_shard fires per completed
+        # shard (completion order); the returned list is proposal-ordered.
+        shards = self.fleet.map(_evaluate_group, tasks, on_result=on_shard)
         out: list[tuple[int, EvalResult]] = []
         for shard in shards:
-            out.extend(
-                (index, EvalResult.from_dict(data)) for index, data in shard
-            )
+            out.extend((index, results_by_index[index]) for index, _ in shard)
         return out

@@ -102,6 +102,11 @@ class ResilienceReport:
     oracle_checksum: float
     oracle_return: float | int | None = None
     records: list[FaultRunRecord] = field(default_factory=list)
+    #: Plans answered from sweep checkpoints instead of re-running
+    #: (``resume=True``).  Provenance, not content: excluded from
+    #: :meth:`to_dict` and comparison so a resumed report stays
+    #: byte-identical to an uninterrupted one.
+    replayed: int = field(default=0, compare=False)
 
     def by_kind(self, kind: str) -> list[FaultRunRecord]:
         return [r for r in self.records if r.kind == kind]
@@ -321,6 +326,43 @@ def _run_plan_task(task) -> FaultRunRecord:
     )
 
 
+def _checkpoint_key(
+    spec: KernelSpec,
+    engine: str,
+    n_workers: int,
+    fifo_depth: int,
+    seed: int,
+    n_plans: int,
+    max_cycles: int | None,
+    monitor_interval: int | None,
+    index: int,
+) -> str:
+    """Content address of one plan's checkpoint record.
+
+    Every knob that changes the plan or its simulation participates —
+    including the engine, so event and lockstep sweeps sharing one store
+    (CI does this) never replay each other's records.
+    """
+    from ..cost import COST_MODEL_VERSION
+    from ..service.store import content_key
+
+    return content_key({
+        "kind": "faults-plan",
+        "cost_model": COST_MODEL_VERSION,
+        "kernel": spec.name,
+        "source": spec.source,
+        "setup_args": list(spec.setup_args),
+        "engine": engine,
+        "n_workers": n_workers,
+        "fifo_depth": fifo_depth,
+        "seed": seed,
+        "n_plans": n_plans,
+        "max_cycles": max_cycles,
+        "monitor_interval": monitor_interval,
+        "index": index,
+    })
+
+
 def resilience_sweep(
     spec: KernelSpec,
     n_plans: int = 8,
@@ -332,11 +374,22 @@ def resilience_sweep(
     monitor_interval: int | None = None,
     processes: int = 1,
     fleet: FleetExecutor | None = None,
+    store=None,
+    resume: bool = False,
+    envelopes=None,
 ) -> ResilienceReport:
     """Run the full resilience sweep for one kernel.
 
     ``processes``/``fleet`` fan the per-plan runs out over the shared
     fleet executor; the report is byte-identical at any pool size.
+
+    ``store`` (an :class:`~repro.service.ArtifactStore`) checkpoints
+    every finished plan record the moment it lands; ``resume=True``
+    replays checkpointed plans from the store instead of re-running them
+    (``report.replayed`` counts them), so a SIGKILLed sweep restarted
+    with the same arguments converges to a byte-identical report.
+    ``envelopes`` journals the owned fleet's supervision events (and the
+    resume event) as ``fleet`` run envelopes.
     """
     harness = _harness_for(spec, engine, n_workers, fifo_depth)
 
@@ -376,14 +429,52 @@ def resilience_sweep(
                 baseline.cycles, budget, monitor_interval,
             ))
             index += 1
+
+    ckpt_keys = [
+        _checkpoint_key(
+            spec, engine, n_workers, fifo_depth, seed, n_plans,
+            max_cycles, monitor_interval, i,
+        )
+        for i in range(len(tasks))
+    ] if store is not None else []
+    slots: list[FaultRunRecord | None] = [None] * len(tasks)
+    if store is not None and resume:
+        for i, key in enumerate(ckpt_keys):
+            stored = store.get(key)
+            if stored is not None:
+                slots[i] = FaultRunRecord.from_dict(stored)
+    report.replayed = sum(1 for r in slots if r is not None)
+    pending = [tasks[i] for i, r in enumerate(slots) if r is None]
+
+    def persist(_pos: int, record: FaultRunRecord) -> None:
+        # Checkpoint each record the moment its plan finishes, so a
+        # killed sweep loses at most the in-flight plans.
+        slots[record.index] = record
+        if store is not None:
+            store.put(ckpt_keys[record.index], record.to_dict())
+
     owned = fleet is None
     if owned:
-        fleet = FleetExecutor(processes)
+        fleet = FleetExecutor(
+            processes, envelopes=envelopes,
+            context={"subsystem": "faults", "kernel": spec.name},
+        )
     try:
-        report.records.extend(fleet.map(_run_plan_task, tasks))
+        if report.replayed:
+            fleet.record_event(
+                "resume", attempt=report.replayed,
+                detail=(
+                    f"replayed {report.replayed}/{len(tasks)} plan "
+                    f"checkpoint(s); running {len(pending)}"
+                ),
+            )
+        if pending:
+            fleet.map(_run_plan_task, pending, on_result=persist)
     finally:
         if owned:
             fleet.close()
+    assert all(r is not None for r in slots)
+    report.records.extend(slots)  # type: ignore[arg-type]
     return report
 
 

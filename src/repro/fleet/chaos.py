@@ -1,0 +1,255 @@
+"""Deterministic failure injection for the host system.
+
+PR 4 injects faults into the *simulated* hardware; this module injects
+faults into the *host* — killed pool workers, tasks delayed past their
+deadline, corrupted store artifacts — so the supervision layer in
+:class:`repro.fleet.FleetExecutor`, the store's read-side integrity
+check, and the resumable sweeps can be exercised deterministically in
+tests and the ``chaos-smoke`` CI job.
+
+A chaos *plan* is a JSON file naming the events to fire::
+
+    {"parent_pid": 1234,
+     "marker_dir": "/tmp/chaos-markers",
+     "events": [
+       {"kind": "kill-worker", "task_index": 3},
+       {"kind": "delay", "task_index": 1, "seconds": 0.5},
+       {"kind": "corrupt-artifact", "task_index": 0,
+        "root": "/path/to/store", "mode": "truncate"}]}
+
+Pointing the ``CGPA_CHAOS`` environment variable at a plan arms it:
+every supervised fleet task calls :func:`fire_task_hooks` (via
+``_supervised_call``) before running, and any event matching its task
+index fires **exactly once** across the whole process tree — each event
+is claimed through an ``O_EXCL`` marker file in ``marker_dir``, so a
+respawned pool re-running the same task index does not re-fire the
+event (which is precisely what lets a killed task succeed on retry).
+
+Event kinds:
+
+* ``kill-worker`` — ``os._exit(17)`` the pool worker mid-task (skipped
+  in the parent process, so serial runs are never killed): the parent
+  observes ``BrokenProcessPool`` and must respawn + retry;
+* ``delay`` — sleep ``seconds`` before running the task: pushes a task
+  past its wall-clock deadline to exercise :class:`~repro.fleet.TaskTimeout`;
+* ``corrupt-artifact`` — truncate or garbage a stored artifact under
+  ``root`` (optionally selected by ``key`` prefix / ``match``
+  substring): exercises the store's hash check + quarantine path.
+
+The module is also a CLI for CI scripting::
+
+    python -m repro.fleet.chaos corrupt STORE_ROOT [--key PREFIX]
+        [--match SUBSTRING] [--mode truncate|garbage]
+    python -m repro.fleet.chaos plan PLAN.json --marker-dir DIR
+        --event kill-worker:2 [--event delay:1:0.5] ...
+
+Without ``CGPA_CHAOS`` set, every hook is a strict no-op.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+#: Environment variable naming the active chaos plan file.
+ENV_VAR = "CGPA_CHAOS"
+
+#: Exit status used by ``kill-worker`` (distinctive in pool tracebacks).
+KILL_EXIT_STATUS = 17
+
+#: Cached ``(path, plan_dict)`` so each worker parses the plan once.
+_PLAN_CACHE: tuple[str, dict] | None = None
+
+
+def write_plan(path, events: list[dict], marker_dir=None) -> dict:
+    """Write a chaos plan to ``path`` and return it.
+
+    Records the calling process as ``parent_pid`` so ``kill-worker``
+    events only ever fire in pool workers, never in the parent driving
+    the sweep.  ``marker_dir`` (default: ``<path>.markers`` next to the
+    plan) is created and used for once-only event claims.
+    """
+    path = os.fspath(path)
+    if marker_dir is None:
+        marker_dir = path + ".markers"
+    marker_dir = os.fspath(marker_dir)
+    os.makedirs(marker_dir, exist_ok=True)
+    plan = {
+        "parent_pid": os.getpid(),
+        "marker_dir": marker_dir,
+        "events": list(events),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(plan, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return plan
+
+
+def _load_plan() -> dict | None:
+    global _PLAN_CACHE
+    path = os.environ.get(ENV_VAR)
+    if not path:
+        return None
+    if _PLAN_CACHE is not None and _PLAN_CACHE[0] == path:
+        return _PLAN_CACHE[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            plan = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    _PLAN_CACHE = (path, plan)
+    return plan
+
+
+def _claim(marker_dir: str, event_id: int) -> bool:
+    """Claim event ``event_id`` exactly once across all processes."""
+    marker = os.path.join(marker_dir, f"ev{event_id}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(f"{os.getpid()}\n")
+    return True
+
+
+def fire_task_hooks(task_index: int) -> None:
+    """Fire any armed chaos events matching ``task_index``.
+
+    Called by the fleet's worker-side wrapper before every supervised
+    task.  No-op unless ``CGPA_CHAOS`` names a readable plan.
+    """
+    plan = _load_plan()
+    if plan is None:
+        return
+    marker_dir = plan.get("marker_dir", "")
+    parent_pid = plan.get("parent_pid")
+    for event_id, event in enumerate(plan.get("events", [])):
+        if event.get("task_index") != task_index:
+            continue
+        if not marker_dir or not _claim(marker_dir, event_id):
+            continue
+        kind = event.get("kind")
+        if kind == "kill-worker":
+            # Never kill the parent: a serial run (or the inline path)
+            # executes tasks in the sweep driver itself.
+            if parent_pid is not None and os.getpid() != parent_pid:
+                os._exit(KILL_EXIT_STATUS)
+        elif kind == "delay":
+            time.sleep(float(event.get("seconds", 0.0)))
+        elif kind == "corrupt-artifact":
+            corrupt_artifact(
+                event.get("root", ""),
+                key=event.get("key"),
+                mode=event.get("mode", "truncate"),
+                match=event.get("match"),
+            )
+
+
+def corrupt_artifact(root, key=None, mode="truncate", match=None):
+    """Corrupt one artifact under store ``root``; returns its key.
+
+    Picks the first artifact in sorted-key order, optionally narrowed to
+    keys starting with ``key`` and/or payloads containing ``match``.
+    ``mode="truncate"`` halves the file; ``mode="garbage"`` overwrites
+    it with non-JSON bytes.  Returns ``None`` when nothing matched.
+    """
+    root = os.fspath(root)
+    candidates = []
+    if os.path.isdir(root):
+        for shard in sorted(os.listdir(root)):
+            shard_dir = os.path.join(root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith("."):
+                    candidates.append(
+                        (name[: -len(".json")], os.path.join(shard_dir, name))
+                    )
+    for artifact_key, path in sorted(candidates):
+        if key is not None and not artifact_key.startswith(key):
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            continue
+        if match is not None and match not in text:
+            continue
+        if mode == "garbage":
+            payload = b"{garbage\x00\xff"
+        else:
+            payload = text.encode("utf-8")[: max(1, len(text) // 2)]
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        return artifact_key
+    return None
+
+
+def _parse_event(text: str) -> dict:
+    """``kind:task_index[:arg]`` → event dict (CLI shorthand)."""
+    parts = text.split(":")
+    if len(parts) < 2:
+        raise ValueError(f"bad --event {text!r}: want kind:task_index[:arg]")
+    kind, task_index = parts[0], int(parts[1])
+    event: dict = {"kind": kind, "task_index": task_index}
+    if kind == "delay":
+        event["seconds"] = float(parts[2]) if len(parts) > 2 else 0.1
+    elif kind == "corrupt-artifact":
+        if len(parts) > 2:
+            event["root"] = ":".join(parts[2:])
+    elif kind != "kill-worker":
+        raise ValueError(f"unknown chaos event kind {kind!r}")
+    return event
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.chaos",
+        description="Deterministic host-fault injection helpers.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    corrupt = commands.add_parser(
+        "corrupt", help="truncate or garbage one store artifact"
+    )
+    corrupt.add_argument("root", help="artifact store root directory")
+    corrupt.add_argument("--key", help="only keys starting with this prefix")
+    corrupt.add_argument(
+        "--match", help="only artifacts whose payload contains this substring"
+    )
+    corrupt.add_argument(
+        "--mode", choices=("truncate", "garbage"), default="truncate"
+    )
+
+    plan = commands.add_parser("plan", help="write a chaos plan file")
+    plan.add_argument("path", help="plan JSON path (point CGPA_CHAOS here)")
+    plan.add_argument("--marker-dir", help="once-only marker directory")
+    plan.add_argument(
+        "--event", action="append", default=[], metavar="KIND:INDEX[:ARG]",
+        help="kill-worker:2 | delay:1:0.5 | corrupt-artifact:0:STORE_ROOT",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "corrupt":
+        corrupted = corrupt_artifact(
+            args.root, key=args.key, mode=args.mode, match=args.match
+        )
+        if corrupted is None:
+            print("no artifact matched", file=sys.stderr)
+            return 1
+        print(corrupted)
+        return 0
+    events = [_parse_event(text) for text in args.event]
+    write_plan(args.path, events, marker_dir=args.marker_dir)
+    print(args.path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

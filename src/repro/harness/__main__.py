@@ -191,6 +191,13 @@ def dse_main(argv: list[str]) -> int:
         help="evaluate every point fresh, and do not store results",
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep: points already persisted to "
+        "the result cache (checkpointed per shard as they complete) are "
+        "replayed instead of re-simulated; the final report is "
+        "byte-identical to an uninterrupted run",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path,
         default=pathlib.Path("benchmarks/results"),
         help="directory for the sweep JSON mirror (default: "
@@ -198,6 +205,8 @@ def dse_main(argv: list[str]) -> int:
     )
     _add_store_argument(parser)
     args = parser.parse_args(argv)
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the result cache; drop --no-cache")
 
     from ..dse import (
         DEFAULT_EVAL_MAX_CYCLES,
@@ -252,6 +261,19 @@ def dse_main(argv: list[str]) -> int:
         sweep = explorer.run(strategy)
     finally:
         explorer.close()
+    if args.resume:
+        from ..obs.emit import fleet_envelope
+
+        detail = (
+            f"replayed {sweep.cache_hits} point(s) from cache, "
+            f"computed {sweep.cache_misses}"
+        )
+        writer.write(fleet_envelope(
+            {"kind": "resume", "task_index": None,
+             "attempt": sweep.cache_hits, "detail": detail},
+            extra={"subsystem": "dse", "kernel": spec.name},
+        ))
+        print(f"resumed: {detail}", file=sys.stderr)
 
     from ..service.contracts import JobRequest
 
@@ -338,12 +360,19 @@ def faults_main(argv: list[str]) -> int:
         help="also mirror the full sweep (plans + outcomes) JSON at PATH "
         "(the canonical copy lands in --store)",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep: plan outcomes already "
+        "checkpointed to --store are replayed instead of re-simulated; "
+        "the final report is byte-identical to an uninterrupted run",
+    )
     _add_store_argument(parser)
     args = parser.parse_args(argv)
 
     from ..faults.sweep import resilience_sweep
 
     spec = KERNELS_BY_NAME[args.kernel]
+    writer = _envelope_writer(args.store)
     report = resilience_sweep(
         spec,
         n_plans=args.plans,
@@ -353,8 +382,16 @@ def faults_main(argv: list[str]) -> int:
         fifo_depth=args.fifo_depth,
         max_cycles=args.max_cycles,
         processes=args.processes,
+        store=writer.store,
+        resume=args.resume,
+        envelopes=writer,
     )
     print(report.format())
+    if args.resume:
+        # stderr: resume chatter must not perturb the byte-identical
+        # stdout contract (the CI smoke diffs stdout across engines).
+        print(f"resumed: {report.replayed}/{len(report.records)} plan(s) "
+              f"replayed from checkpoints", file=sys.stderr)
 
     from ..service.contracts import JobRequest
 
@@ -368,7 +405,7 @@ def faults_main(argv: list[str]) -> int:
     })
     from ..obs.emit import faults_envelope
 
-    stored = _envelope_writer(args.store).publish_run(
+    stored = writer.publish_run(
         request.key, {"kind": "faults", **report.to_dict()},
         faults_envelope(report, engine=args.engine, config_hash=request.key),
         mirror=args.json,
@@ -622,6 +659,21 @@ def serve_main(argv: list[str]) -> int:
         "--burst", type=float, default=64.0, metavar="TOKENS",
         help="per-client burst budget (token-bucket capacity, default: 64)",
     )
+    parser.add_argument(
+        "--job-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per job; an overrunning job ends in "
+        "status=timeout instead of wedging a worker (default: none)",
+    )
+    parser.add_argument(
+        "--job-retries", type=int, default=1, metavar="N",
+        help="retries for a job whose pool worker crashed, on a "
+        "respawned pool (default: 1)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long shutdown waits for in-flight jobs while answering "
+        "new submissions with 503 + Retry-After (default: 5)",
+    )
     args = parser.parse_args(argv)
 
     from ..service.app import ServiceConfig, run_server
@@ -635,6 +687,9 @@ def serve_main(argv: list[str]) -> int:
         lru_entries=args.lru_entries,
         rate_capacity=args.burst,
         rate_refill_per_s=args.rate,
+        job_deadline_s=args.job_deadline,
+        job_retries=args.job_retries,
+        drain_timeout=args.drain_timeout,
     ))
     return 0
 

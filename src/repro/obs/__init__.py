@@ -34,6 +34,7 @@ from .emit import (
     cosim_envelope,
     eval_envelope,
     faults_envelope,
+    fleet_envelope,
     job_envelope,
     sim_envelope,
     sweep_envelope,
@@ -56,6 +57,7 @@ __all__ = [
     "cosim_envelope",
     "eval_envelope",
     "faults_envelope",
+    "fleet_envelope",
     "job_envelope",
     "sim_envelope",
     "sweep_envelope",

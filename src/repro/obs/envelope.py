@@ -50,6 +50,7 @@ ENVELOPE_KINDS = (
     "cosim",        # one RTL co-simulation
     "service-job",  # one executed service job (references its artifact)
     "bench",        # one benchmark figure
+    "fleet",        # one supervision event (crash/retry/timeout/respawn/resume)
 )
 
 #: Fixed UTC timestamp format (lexicographic order == chronological).

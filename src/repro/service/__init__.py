@@ -24,11 +24,16 @@ server), :mod:`.client` (blocking client).
 """
 
 from .contracts import CONTRACT_VERSION, JOB_KINDS, ContractError, JobRequest
-from .store import ArtifactStore, StoreStats, content_key, publish
-from .client import JobFailed, RateLimited, ServiceClient, ServiceError
+from .store import (
+    ArtifactCorrupt, ArtifactStore, StoreStats, content_key, publish,
+)
+from .client import (
+    JobCancelled, JobFailed, RateLimited, ServiceClient, ServiceError,
+)
 
 __all__ = [
     "JOB_KINDS", "CONTRACT_VERSION", "JobRequest", "ContractError",
-    "ArtifactStore", "StoreStats", "content_key", "publish",
-    "ServiceClient", "ServiceError", "RateLimited", "JobFailed",
+    "ArtifactStore", "ArtifactCorrupt", "StoreStats", "content_key",
+    "publish", "ServiceClient", "ServiceError", "RateLimited", "JobFailed",
+    "JobCancelled",
 ]

@@ -4,12 +4,13 @@ No framework, no dependencies: one ``asyncio.start_server`` callback
 parses HTTP/1.1 (request line, headers, Content-Length body, keep-alive)
 and routes to a handful of JSON endpoints::
 
-    POST /v1/jobs                submit a JobRequest        -> job record
-    GET  /v1/jobs/<id>           poll status                -> job record
-    GET  /v1/jobs/<id>/result    fetch the artifact (409 until done)
-    GET  /v1/artifacts/<key>     fetch any artifact by content key
-    GET  /v1/stats               store/queue/rate-limit counters
-    GET  /v1/healthz             liveness probe
+    POST   /v1/jobs              submit a JobRequest        -> job record
+    GET    /v1/jobs/<id>         poll status                -> job record
+    DELETE /v1/jobs/<id>         cancel a queued/running job
+    GET    /v1/jobs/<id>/result  fetch the artifact (409 until done)
+    GET    /v1/artifacts/<key>   fetch any artifact by content key
+    GET    /v1/stats             store/queue/rate-limit counters
+    GET    /v1/healthz           liveness probe (ok / degraded / draining)
 
 Submissions pass the per-client token-bucket limiter (client id =
 ``X-Client-Id`` header, else peer address; over budget -> 429 with
@@ -48,7 +49,7 @@ KEEP_ALIVE_TIMEOUT_S = 75.0
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
     409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -66,6 +67,13 @@ class ServiceConfig:
     lru_entries: int = DEFAULT_LRU_ENTRIES
     rate_capacity: float = DEFAULT_CAPACITY
     rate_refill_per_s: float = DEFAULT_REFILL_PER_S
+    #: Default wall-clock budget per job (None = unbounded; a request's
+    #: own ``deadline_s`` overrides it).
+    job_deadline_s: float | None = None
+    #: Re-runs allowed after a crashed pool worker before a job fails.
+    job_retries: int = 1
+    #: Seconds shutdown lets in-flight jobs finish before cancelling.
+    drain_timeout: float = 5.0
 
 
 class _HttpError(Exception):
@@ -101,6 +109,9 @@ class CgpaService:
         self.queue = JobQueue(
             self.store, workers=self.config.workers, run=run,
             fleet=self.fleet, envelopes=self.envelopes,
+            deadline_s=self.config.job_deadline_s,
+            job_retries=self.config.job_retries,
+            drain_timeout=self.config.drain_timeout,
         )
         limiter_kwargs = {} if clock is None else {"clock": clock}
         self.limiter = RateLimiter(
@@ -131,7 +142,16 @@ class CgpaService:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, drain_timeout: float | None = None) -> None:
+        """Graceful drain, then teardown.
+
+        Submissions start answering 503 the moment the queue's
+        ``draining`` flag flips; the HTTP front end stays up through the
+        drain so clients can keep polling their in-flight jobs, and only
+        then do the listener, connections, and pool come down.
+        """
+        self.queue.draining = True
+        await self.queue.close(drain_timeout)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -142,7 +162,6 @@ class CgpaService:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        await self.queue.close()
         if self.fleet is not None:
             self.fleet.close()
 
@@ -293,7 +312,14 @@ class CgpaService:
 
         if path == "/v1/healthz":
             self._require(method, "GET")
-            return 200, {"ok": True}
+            draining = self.queue.draining
+            health = (
+                "draining" if draining
+                else "degraded" if self.queue.degraded
+                else "ok"
+            )
+            return 200, {"ok": not draining, "status": health,
+                         "draining": draining}
         if path == "/v1/stats":
             self._require(method, "GET")
             return 200, self._stats()
@@ -301,6 +327,8 @@ class CgpaService:
             self._require(method, "POST")
             return self._submit(body, client_id)
         if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            if method == "DELETE":
+                return 200, self._cancel(parts[2])
             self._require(method, "GET")
             return 200, self._job(parts[2]).to_dict()
         if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
@@ -320,6 +348,11 @@ class CgpaService:
             raise _HttpError(405, f"use {expected}")
 
     def _submit(self, body: bytes, client_id: str) -> tuple[int, dict]:
+        if self.queue.draining:
+            raise _HttpError(
+                503, "service is draining; not accepting new jobs",
+                retry_after=self.config.drain_timeout,
+            )
         decision = self.limiter.check(client_id)
         if not decision.allowed:
             raise _HttpError(
@@ -344,9 +377,15 @@ class CgpaService:
             raise _HttpError(404, f"no job {job_id!r}")
         return record
 
+    def _cancel(self, job_id: str) -> dict:
+        record = self.queue.cancel(job_id)
+        if record is None:
+            raise _HttpError(404, f"no job {job_id!r}")
+        return record.to_dict()
+
     def _result(self, job_id: str) -> tuple[int, dict]:
         record = self._job(job_id)
-        if record.status == "failed":
+        if record.status in ("failed", "timeout"):
             raise _HttpError(500, record.error or "job failed")
         artifact = self.queue.result(record)
         if artifact is None:
@@ -373,7 +412,14 @@ class CgpaService:
 
 
 def run_server(config: ServiceConfig) -> None:
-    """Blocking entry point for ``python -m repro.harness serve``."""
+    """Blocking entry point for ``python -m repro.harness serve``.
+
+    SIGINT and SIGTERM both trigger a graceful drain (via explicit loop
+    signal handlers, so drain works even when the process was launched
+    with SIGINT ignored — e.g. backgrounded from a shell script — or is
+    being stopped by a process manager that sends SIGTERM).
+    """
+    import signal as _signal
 
     async def main() -> None:
         service = CgpaService(config)
@@ -387,10 +433,34 @@ def run_server(config: ServiceConfig) -> None:
             f"({pool}, store: {config.store_root})",
             flush=True,
         )
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        hooked: list[int] = []
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, shutdown.set)
+                hooked.append(sig)
+            except (NotImplementedError, OSError, RuntimeError):
+                pass  # non-main thread / platforms without signal support
+        serve = asyncio.ensure_future(service.serve_forever())
+        stop = asyncio.ensure_future(shutdown.wait())
+        stopped = False
         try:
-            await service.serve_forever()
+            await asyncio.wait({serve, stop}, return_when=asyncio.FIRST_COMPLETED)
+            if shutdown.is_set():
+                # Drain while serve_forever still holds the listener up,
+                # so clients can poll in-flight jobs to completion;
+                # stop() closes the listener only after the drain.
+                await service.stop()
+                stopped = True
         finally:
-            await service.stop()
+            serve.cancel()
+            stop.cancel()
+            await asyncio.gather(serve, stop, return_exceptions=True)
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
+            if not stopped:
+                await service.stop()
 
     try:
         asyncio.run(main())
@@ -415,13 +485,15 @@ class ServiceHandle:
     def port(self) -> int:
         return self.service.port
 
-    def stop(self, timeout: float = 10.0) -> None:
+    def stop(
+        self, timeout: float = 10.0, drain_timeout: float | None = None
+    ) -> None:
         if self._stopped:
             return
         self._stopped = True
 
         async def _shutdown() -> None:
-            await self.service.stop()
+            await self.service.stop(drain_timeout)
             asyncio.get_running_loop().stop()
 
         self._loop.call_soon_threadsafe(

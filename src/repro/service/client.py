@@ -14,12 +14,20 @@ and failed) split out so callers can back off or report precisely.
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import time
 
 from ..errors import CgpaError
 from .contracts import JobRequest
+
+#: Statuses a polled job can never leave.
+_TERMINAL = ("done", "failed", "cancelled", "timeout")
+
+#: A server-suggested Retry-After is honored only up to this many
+#: seconds per retry — a misconfigured server must not park the client.
+RETRY_AFTER_CAP_S = 5.0
 
 
 class ServiceError(CgpaError):
@@ -42,6 +50,10 @@ class RateLimited(ServiceError):
 
 class JobFailed(ServiceError):
     """The job ran and failed (compile error, deadlock, executor bug)."""
+
+
+class JobCancelled(ServiceError):
+    """The job was cancelled (by this client or another) before it ran."""
 
 
 class ServiceClient:
@@ -125,6 +137,10 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")
 
+    def cancel(self, job_id: str) -> dict:
+        """DELETE the job; returns its (terminal or soon-terminal) record."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
     def result(self, job_id: str) -> dict:
         """The finished artifact; raises ServiceError 409 until done."""
         try:
@@ -146,14 +162,50 @@ class ServiceClient:
 
     # -- conveniences ------------------------------------------------------
 
+    def _retry_delay(self, retry_after: float, attempt: int) -> float:
+        """Capped server hint plus deterministic per-client jitter.
+
+        The jitter fraction is a pure function of ``(client_id,
+        attempt)``, so a retrying client's timing is reproducible while
+        distinct clients still de-synchronise instead of stampeding the
+        bucket on the same tick.
+        """
+        digest = hashlib.sha256(
+            f"{self.client_id or 'anon'}:{attempt}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        base = min(max(retry_after, 0.0), RETRY_AFTER_CAP_S)
+        return base * (1.0 + 0.25 * fraction)
+
+    def _with_retries(self, call, retries: int):
+        """Run ``call``, honoring up to ``retries`` RateLimited answers."""
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except RateLimited as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                time.sleep(self._retry_delay(exc.retry_after, attempt))
+
     def wait(
-        self, job_id: str, timeout: float = 600.0, poll_s: float = 0.05
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_s: float = 0.05,
+        retries: int = 0,
     ) -> dict:
-        """Poll until the job leaves the queue; returns its final record."""
+        """Poll until the job reaches a terminal state; returns its record.
+
+        ``retries`` bounds how many 429 answers are absorbed (sleeping
+        out each ``Retry-After``) before :class:`RateLimited` propagates;
+        the default 0 keeps the historical raise-on-first-429 behavior.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            record = self.job(job_id)
-            if record["status"] in ("done", "failed"):
+            record = self._with_retries(lambda: self.job(job_id), retries)
+            if record["status"] in _TERMINAL:
                 return record
             if time.monotonic() >= deadline:
                 raise ServiceError(
@@ -167,11 +219,22 @@ class ServiceClient:
         request: JobRequest | dict,
         timeout: float = 600.0,
         poll_s: float = 0.05,
+        retries: int = 0,
     ) -> dict:
-        """Submit, wait, fetch: the whole round trip, returning the artifact."""
-        record = self.submit(request)
-        if record["status"] not in ("done", "failed"):
-            record = self.wait(record["job_id"], timeout, poll_s)
-        if record["status"] == "failed":
+        """Submit, wait, fetch: the whole round trip, returning the artifact.
+
+        Terminal failures are typed: ``cancelled`` raises
+        :class:`JobCancelled`, ``failed``/``timeout`` raise
+        :class:`JobFailed`.  ``retries`` lets submission and polling ride
+        out up to that many 429s (default 0: first 429 raises, as before).
+        """
+        record = self._with_retries(lambda: self.submit(request), retries)
+        if record["status"] not in _TERMINAL:
+            record = self.wait(record["job_id"], timeout, poll_s, retries)
+        if record["status"] == "cancelled":
+            raise JobCancelled(
+                409, {"error": record.get("error") or "job cancelled"}
+            )
+        if record["status"] in ("failed", "timeout"):
             raise JobFailed(500, {"error": record.get("error") or "job failed"})
         return self.result(record["job_id"])

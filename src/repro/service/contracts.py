@@ -216,6 +216,12 @@ class JobRequest:
     #: Optional replacement C source for the kernel (same entry-point
     #: contract as the named kernel's spec).
     source: str | None = None
+    #: Optional wall-clock budget (seconds) for executing this job.
+    #: Transport-level: it bounds *this submission's* patience, not the
+    #: work's identity, so it is deliberately **excluded from the content
+    #: key** — a deadline must never split the artifact address space or
+    #: defeat coalescing.
+    deadline_s: float | None = None
 
     @classmethod
     def make(
@@ -224,6 +230,7 @@ class JobRequest:
         kernel: str,
         options: dict | None = None,
         source: str | None = None,
+        deadline_s: float | None = None,
     ) -> "JobRequest":
         if kind not in JOB_KINDS:
             raise ContractError(
@@ -236,11 +243,22 @@ class JobRequest:
             )
         if source is not None and not isinstance(source, str):
             raise ContractError("source override must be a string")
+        if deadline_s is not None:
+            if (
+                isinstance(deadline_s, bool)
+                or not isinstance(deadline_s, (int, float))
+                or deadline_s <= 0
+            ):
+                raise ContractError(
+                    "deadline_s must be a positive number of seconds"
+                )
+            deadline_s = float(deadline_s)
         return cls(
             kind=kind,
             kernel=kernel,
             options=normalize_options(kind, options),
             source=source,
+            deadline_s=deadline_s,
         )
 
     @classmethod
@@ -248,7 +266,9 @@ class JobRequest:
         """Validate a wire-form dict (the POST /v1/jobs body)."""
         if not isinstance(data, dict):
             raise ContractError("request body must be a JSON object")
-        unknown = sorted(set(data) - {"kind", "kernel", "options", "source"})
+        unknown = sorted(
+            set(data) - {"kind", "kernel", "options", "source", "deadline_s"}
+        )
         if unknown:
             raise ContractError(f"unknown request field(s) {unknown}")
         for name in ("kind", "kernel"):
@@ -260,6 +280,7 @@ class JobRequest:
         return cls.make(
             data["kind"], data["kernel"],
             options=options, source=data.get("source"),
+            deadline_s=data.get("deadline_s"),
         )
 
     def to_dict(self) -> dict:
@@ -270,6 +291,8 @@ class JobRequest:
         }
         if self.source is not None:
             out["source"] = self.source
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
         return out
 
     # -- resolution --------------------------------------------------------

@@ -12,7 +12,16 @@ The queue owns the service's execution pipeline:
   the (CPU-bound, blocking) executor on a thread pool — or, when a
   :class:`~repro.fleet.FleetExecutor` is attached, on its process pool
   (sidestepping the GIL for simulation-bound workloads) — so the HTTP
-  event loop stays responsive while simulations grind.
+  event loop stays responsive while simulations grind;
+* **fault tolerance** — each job may carry a wall-clock ``deadline_s``
+  (per request, or a queue-wide default) after which it lands in the
+  ``timeout`` terminal state; a crashed pool worker
+  (``BrokenProcessPool``) respawns the fleet pool and re-runs the job up
+  to ``job_retries`` times before failing it; :meth:`cancel` moves a
+  queued or running job to the ``cancelled`` terminal state; and
+  :meth:`close` *drains* by default — in-flight jobs get
+  ``drain_timeout`` seconds to land their artifacts in the store before
+  anything is hard-cancelled.
 
 All bookkeeping (records, in-flight map, stats) is touched only from
 the event loop thread, so there are no locks here; the executor runs on
@@ -25,6 +34,7 @@ import asyncio
 import functools
 import itertools
 from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -35,7 +45,10 @@ from .contracts import JobRequest
 from .store import ArtifactStore
 
 #: JobRecord.status values, in lifecycle order.
-JOB_STATUSES = ("queued", "running", "done", "failed")
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled", "timeout")
+
+#: Statuses a record can never leave (its ``done`` event is set).
+TERMINAL_STATUSES = ("done", "failed", "cancelled", "timeout")
 
 
 @dataclass
@@ -47,6 +60,10 @@ class QueueStats:
     coalesced: int = 0  # attached to an identical in-flight job
     executed: int = 0
     failed: int = 0
+    cancelled: int = 0
+    timeouts: int = 0  # jobs that blew their wall-clock deadline
+    crashes: int = 0  # BrokenProcessPool observed under a job
+    crash_retries: int = 0  # re-runs scheduled after a crash
 
     def to_dict(self) -> dict:
         return {
@@ -55,6 +72,10 @@ class QueueStats:
             "coalesced": self.coalesced,
             "executed": self.executed,
             "failed": self.failed,
+            "cancelled": self.cancelled,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "crash_retries": self.crash_retries,
         }
 
 
@@ -72,7 +93,13 @@ class JobRecord:
     cached: bool = False
     #: How many submissions this record absorbed (1 = no coalescing).
     submissions: int = 1
+    #: Wall-clock budget for execution (None = unbounded).
+    deadline_s: float | None = None
+    #: Execution attempts so far (crash retries re-run the same record).
+    attempts: int = 0
     done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    #: Set by :meth:`JobQueue.cancel` while the job is running.
+    cancel: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     def to_dict(self) -> dict:
         return {
@@ -83,6 +110,7 @@ class JobRecord:
             "status": self.status,
             "cached": self.cached,
             "submissions": self.submissions,
+            "attempts": self.attempts,
             "error": self.error,
         }
 
@@ -98,6 +126,9 @@ class JobQueue:
         max_records: int = 10_000,
         fleet: FleetExecutor | None = None,
         envelopes=None,
+        deadline_s: float | None = None,
+        job_retries: int = 1,
+        drain_timeout: float = 5.0,
     ) -> None:
         """``envelopes`` is an optional
         :class:`~repro.obs.emit.EnvelopeWriter`: when set, every job that
@@ -117,6 +148,16 @@ class JobQueue:
             lambda request: jobs.execute(request, store=store)
         )
         self.max_records = max_records
+        #: Default wall-clock budget for jobs that don't carry their own.
+        self.deadline_s = deadline_s
+        #: Crash (BrokenProcessPool) re-runs allowed per job.
+        self.job_retries = max(0, job_retries)
+        #: Seconds :meth:`close` lets in-flight jobs finish before
+        #: cancelling them.
+        self.drain_timeout = drain_timeout
+        #: True once :meth:`close` begins: the HTTP layer answers 503.
+        self.draining = False
+        self._degraded = False
         self.stats = QueueStats()
         self._records: dict[str, JobRecord] = {}
         self._inflight: dict[str, JobRecord] = {}  # key -> queued/running
@@ -152,7 +193,17 @@ class JobQueue:
             for i in range(self.workers)
         ]
 
-    async def close(self) -> None:
+    async def close(self, drain_timeout: float | None = None) -> None:
+        """Drain, then stop: in-flight jobs get ``drain_timeout`` seconds
+        (default: the queue's ``drain_timeout``) to land their artifacts
+        in the store before the worker tasks are cancelled."""
+        timeout = self.drain_timeout if drain_timeout is None else drain_timeout
+        self.draining = True
+        if self._tasks and self._inflight and timeout and timeout > 0:
+            try:
+                await asyncio.wait_for(self._queue.join(), timeout)
+            except asyncio.TimeoutError:
+                pass  # drain budget spent; hard-cancel what's left
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:
@@ -171,6 +222,13 @@ class JobQueue:
     def depth(self) -> int:
         """Jobs waiting or running right now."""
         return len(self._inflight)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the last execution crashed a worker, or a worker
+        task has died: the service still answers but recent history says
+        jobs are at risk (surfaced via ``/v1/healthz``)."""
+        return self._degraded or any(task.done() for task in self._tasks)
 
     # -- submission --------------------------------------------------------
 
@@ -197,12 +255,40 @@ class JobQueue:
             record.done.set()
             return record
         record = self._new_record(request, key)
+        record.deadline_s = (
+            request.deadline_s if request.deadline_s is not None
+            else self.deadline_s
+        )
         self._inflight[key] = record
         self._queue.put_nowait(record)
         return record
 
     def get(self, job_id: str) -> JobRecord | None:
         return self._records.get(job_id)
+
+    def cancel(self, job_id: str) -> JobRecord | None:
+        """Cancel a job; returns its record (None if the id is unknown).
+
+        A queued job lands in ``cancelled`` immediately; a running job is
+        flagged and its worker abandons it at the next await point (the
+        blocking executor call itself cannot be interrupted, but its
+        result is discarded).  Cancelling a terminal record is an
+        idempotent no-op.
+        """
+        record = self._records.get(job_id)
+        if record is None:
+            return None
+        if record.done.is_set():
+            return record
+        if record.status == "queued":
+            record.status = "cancelled"
+            record.error = "cancelled by client"
+            self.stats.cancelled += 1
+            self._inflight.pop(record.key, None)
+            record.done.set()
+        else:
+            record.cancel.set()
+        return record
 
     def result(self, record: JobRecord) -> dict | None:
         """The finished artifact (None unless ``status == "done"``)."""
@@ -237,36 +323,95 @@ class JobQueue:
         loop = asyncio.get_running_loop()
         while True:
             record = await self._queue.get()
-            record.status = "running"
             try:
-                artifact = await loop.run_in_executor(
-                    self._pool, self._run, record.request
-                )
-                self.store.put(record.key, artifact)
-                record.status = "done"
-                self.stats.executed += 1
-                if self.envelopes is not None:
-                    from ..obs.emit import job_envelope
-
-                    self.envelopes.write(
-                        job_envelope(record.to_dict(), artifact)
-                    )
+                if record.done.is_set():
+                    continue  # cancelled while still queued
+                record.status = "running"
+                await self._execute(loop, record)
             except asyncio.CancelledError:
                 record.status = "failed"
                 record.error = "service shutting down"
-                record.done.set()
-                self._inflight.pop(record.key, None)
                 raise
-            except CgpaError as exc:
-                record.status = "failed"
-                record.error = str(exc).splitlines()[0]
-                self.stats.failed += 1
-            except Exception as exc:  # executor bug: fail the job, not the server
-                record.status = "failed"
-                record.error = f"internal: {type(exc).__name__}: {exc}"
-                self.stats.failed += 1
             finally:
                 if not record.done.is_set():
                     record.done.set()
                 self._inflight.pop(record.key, None)
                 self._queue.task_done()
+
+    async def _execute(self, loop, record: JobRecord) -> None:
+        """Run one record to a terminal state (with crash retries)."""
+        while True:
+            record.attempts += 1
+            exec_future = loop.run_in_executor(
+                self._pool, self._run, record.request
+            )
+            cancel_task = asyncio.ensure_future(record.cancel.wait())
+            try:
+                done, _ = await asyncio.wait(
+                    {exec_future, cancel_task},
+                    timeout=record.deadline_s,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                cancel_task.cancel()
+            if exec_future not in done:
+                # Cancelled or past deadline.  The blocking call cannot
+                # be interrupted mid-flight; discard its (eventual)
+                # result and silence its exception, and move the record
+                # to its terminal state now.
+                exec_future.cancel()
+                exec_future.add_done_callback(
+                    lambda f: f.cancelled() or f.exception()
+                )
+                if record.cancel.is_set():
+                    record.status = "cancelled"
+                    record.error = "cancelled by client"
+                    self.stats.cancelled += 1
+                else:
+                    record.status = "timeout"
+                    record.error = (
+                        f"exceeded {record.deadline_s:g}s deadline"
+                    )
+                    self.stats.timeouts += 1
+                return
+            try:
+                artifact = exec_future.result()
+            except BrokenProcessPool as exc:
+                self.stats.crashes += 1
+                self._degraded = True
+                if self.fleet is not None and not self._owns_pool:
+                    # Fleet-owned pool: replace it so retries (and every
+                    # other queued job) land on live workers.
+                    self._pool = self.fleet.respawn()
+                if record.attempts <= self.job_retries:
+                    self.stats.crash_retries += 1
+                    continue
+                record.status = "failed"
+                detail = str(exc).splitlines()[0] if str(exc) else (
+                    type(exc).__name__
+                )
+                record.error = (
+                    f"worker process crashed on all {record.attempts} "
+                    f"attempt(s): {detail}"
+                )
+                self.stats.failed += 1
+                return
+            except CgpaError as exc:
+                record.status = "failed"
+                record.error = str(exc).splitlines()[0]
+                self.stats.failed += 1
+                return
+            except Exception as exc:  # executor bug: fail the job only
+                record.status = "failed"
+                record.error = f"internal: {type(exc).__name__}: {exc}"
+                self.stats.failed += 1
+                return
+            self.store.put(record.key, artifact)
+            record.status = "done"
+            self.stats.executed += 1
+            self._degraded = False
+            if self.envelopes is not None:
+                from ..obs.emit import job_envelope
+
+                self.envelopes.write(job_envelope(record.to_dict(), artifact))
+            return

@@ -13,7 +13,7 @@ Layout is ``<root>/<key[:2]>/<key>.json``, the exact sharding the DSE
 evaluations and service artifacts share one directory and one locking
 discipline.  ``ResultCache`` is now a compatibility shim over this class.
 
-Three layers sit above the files:
+Four layers sit above the files:
 
 * a **warm in-process LRU** (``lru_entries`` decoded dicts) so repeated
   fetches of hot artifacts never touch the filesystem;
@@ -21,8 +21,16 @@ Three layers sit above the files:
   ``os.O_EXCL`` temp name and published with :func:`os.replace`, so
   concurrent pool workers, service worker threads, and interrupted
   sweeps can never interleave or expose partial JSON;
-* **stats** (warm/cold hits, misses, writes, conflicts) that the
-  service's ``/v1/stats`` endpoint and the load benchmark report.
+* **read-side integrity** — every ``put`` also writes a
+  ``<key>.json.sha256`` sidecar; ``get`` re-hashes the payload against
+  it, and a mismatch (bit rot, an outside writer, chaos injection)
+  quarantines the bad file under ``<root>/quarantine/`` and reads as a
+  miss, so the job simply re-executes.  ``get(key, strict=True)``
+  raises the typed :class:`ArtifactCorrupt` instead.  Sidecar-less
+  files (legacy stores, hand-dropped artifacts) are accepted as-is;
+* **stats** (warm/cold hits, misses, writes, conflicts, corruptions)
+  that the service's ``/v1/stats`` endpoint and the load benchmark
+  report.
 """
 
 from __future__ import annotations
@@ -36,8 +44,24 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..errors import CgpaError
+
 #: Default number of decoded artifacts kept in the in-process LRU.
 DEFAULT_LRU_ENTRIES = 512
+
+
+class ArtifactCorrupt(CgpaError):
+    """A stored artifact failed its content-hash check (or won't parse).
+
+    Only raised from ``get(key, strict=True)``; the default read path
+    quarantines the file and reports a miss instead.
+    """
+
+    def __init__(self, message: str, key: str | None = None,
+                 quarantined: str | None = None):
+        super().__init__(message)
+        self.key = key
+        self.quarantined = quarantined
 
 
 def content_key(payload: dict) -> str:
@@ -61,6 +85,7 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     write_conflicts: int = 0  # O_EXCL lost to a concurrent writer
+    corrupt: int = 0  # failed integrity check; quarantined + counted a miss
 
     @property
     def hits(self) -> int:
@@ -78,6 +103,7 @@ class StoreStats:
             "misses": self.misses,
             "writes": self.writes,
             "write_conflicts": self.write_conflicts,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
 
@@ -106,10 +132,21 @@ class ArtifactStore:
         """Where ``key``'s artifact lives (whether or not it exists yet)."""
         return self.root / key[:2] / f"{key}.json"
 
+    def integrity_path(self, key: str) -> pathlib.Path:
+        """The artifact's content-hash sidecar (``<key>.json.sha256``)."""
+        return self.root / key[:2] / f"{key}.json.sha256"
+
     # -- reads -------------------------------------------------------------
 
-    def get(self, key: str) -> dict | None:
-        """The stored artifact, or None on miss/torn write."""
+    def get(self, key: str, strict: bool = False) -> dict | None:
+        """The stored artifact, or None on miss/torn write/corruption.
+
+        A payload that fails its sidecar hash check or won't parse is
+        quarantined under ``<root>/quarantine/`` and counted as a miss,
+        so callers re-execute and re-``put`` cleanly.  With
+        ``strict=True`` corruption raises :class:`ArtifactCorrupt`
+        instead of reading as a miss (misses still return None).
+        """
         with self._lock:
             cached = self._lru.get(key)
             if cached is not None:
@@ -117,21 +154,69 @@ class ArtifactStore:
                 self.stats.warm_hits += 1
                 return cached
         try:
-            artifact = json.loads(self.path(key).read_text())
+            raw = self.path(key).read_bytes()
         except FileNotFoundError:
             with self._lock:
                 self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
-            # A torn or corrupted entry is just a miss; the next put()
-            # replaces it atomically.
+        except OSError:
             with self._lock:
                 self.stats.misses += 1
+            return None
+        reason = None
+        artifact = None
+        try:
+            expected = self.integrity_path(key).read_text().strip()
+        except OSError:
+            expected = None  # legacy artifact without a sidecar
+        if expected is not None:
+            actual = hashlib.sha256(raw).hexdigest()
+            if actual != expected:
+                reason = f"sha256 mismatch ({actual[:12]} != {expected[:12]})"
+        if reason is None:
+            try:
+                artifact = json.loads(raw.decode())
+            except UnicodeDecodeError as exc:
+                reason = f"undecodable bytes ({exc})"
+            except json.JSONDecodeError as exc:
+                reason = f"undecodable JSON ({exc})"
+        if reason is not None:
+            quarantined = self._quarantine(key)
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+            if strict:
+                raise ArtifactCorrupt(
+                    f"artifact {key[:12]}… failed integrity check: {reason}"
+                    + (f"; quarantined to {quarantined}" if quarantined else ""),
+                    key=key, quarantined=quarantined,
+                )
             return None
         with self._lock:
             self.stats.cold_hits += 1
             self._remember(key, artifact)
         return artifact
+
+    def _quarantine(self, key: str) -> str | None:
+        """Move a corrupt artifact (+ sidecar) out of the addressable tree.
+
+        Quarantined files keep a ``.corrupt`` suffix so they never match
+        the ``*/*.json`` key glob; returns the new path (or None if a
+        concurrent reader already moved it).
+        """
+        quarantine_dir = self.root / "quarantine"
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        destination = quarantine_dir / f"{key}.json.corrupt"
+        try:
+            os.replace(self.path(key), destination)
+        except OSError:
+            return None
+        sidecar = self.integrity_path(key)
+        try:
+            os.replace(sidecar, quarantine_dir / f"{key}.json.sha256.corrupt")
+        except OSError:
+            pass
+        return str(destination)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -180,10 +265,32 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        self._write_sidecar(key, payload)
         with self._lock:
             self.stats.writes += 1
             self._remember(key, artifact)
         return path
+
+    def _write_sidecar(self, key: str, payload: str) -> None:
+        """Publish the payload's sha256 next to the artifact (atomic).
+
+        Written *after* the artifact rename: a crash in between leaves a
+        sidecar-less file, which reads as a legacy (unchecked) artifact
+        rather than a false corruption.
+        """
+        sidecar = self.integrity_path(key)
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        tmp = sidecar.with_name(
+            f".{sidecar.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_text(digest + "\n")
+            os.replace(tmp, sidecar)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     # -- introspection -----------------------------------------------------
 

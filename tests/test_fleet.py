@@ -1,18 +1,28 @@
 """Tests for the shared fleet executor (repro.fleet).
 
-The fleet's contract has three legs:
+The fleet's contract has four legs:
 
 * ``map`` preserves task order, and the serial path runs the *same*
   module-level task function inline — the mechanism behind every
   consumer's "byte-identical at any pool size" guarantee;
+* supervision: worker crashes and blown deadlines are retried under a
+  deterministic :class:`RetryPolicy`, surface as typed errors when the
+  budget is spent, and leave the surviving results byte-identical to an
+  unchaosed run (driven here through :mod:`repro.fleet.chaos`);
 * ``interned_workload`` stamps out memory-image clones that are
   bit-identical to a fresh functional setup (counters included);
 * the two big consumers — DSE sweeps and resilience sweeps — really do
-  produce identical reports serially and on a pool.
+  produce identical reports serially, on a pool, under chaos, and
+  across a checkpoint/resume cycle.
 """
 
 import dataclasses
 import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -20,16 +30,27 @@ from repro.dse.explore import Explorer
 from repro.dse.space import ConfigSpace
 from repro.dse.strategies import GridStrategy
 from repro.faults.sweep import resilience_sweep
-from repro.fleet import FleetExecutor, interned_workload
+from repro.fleet import (
+    FleetExecutor,
+    RetryPolicy,
+    TaskCrashed,
+    TaskTimeout,
+    chaos,
+    interned_workload,
+)
 from repro.frontend import compile_c
 from repro.harness.runner import setup_workload
 from repro.kernels import KERNELS_BY_NAME
+from repro.service.store import ArtifactStore
 from repro.transforms import optimize_module
 
 #: Scaled-down gaussblur: full compile+simulate in tens of milliseconds.
 SMALL_BLUR = dataclasses.replace(
     KERNELS_BY_NAME["1D-Gaussblur"], setup_args=[6, 48]
 )
+
+#: No-sleep retry policy so supervised-recovery tests stay fast.
+FAST_RETRY = RetryPolicy(backoff_base_s=0.0, jitter=0.0)
 
 
 def _double(x):
@@ -40,6 +61,31 @@ def _fail_on_three(x):
     if x == 3:
         raise ValueError("three")
     return x
+
+
+def _crash_once(task):
+    """Die hard on the first visit to ``sentinel``, succeed after."""
+    sentinel, value = task
+    if sentinel is not None:
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os._exit(17)
+    return value * 2
+
+
+def _crash_always(task):
+    if task == "die":
+        os._exit(17)
+    return task
+
+
+def _sleep_then_return(task):
+    time.sleep(task)
+    return task
 
 
 class TestFleetExecutor:
@@ -172,3 +218,203 @@ class TestConsumersArePoolSizeInvariant:
         explorer.run(GridStrategy())
         explorer.close()  # must not shut down the shared fleet
         assert fleet.map(_double, [2]) == [4]
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay_s(3, 1) == policy.delay_s(3, 1)
+        assert policy.delay_s(3, 1) != policy.delay_s(4, 1)
+        ceiling = policy.backoff_max_s * (1.0 + policy.jitter)
+        delays = [policy.delay_s(0, attempt) for attempt in range(1, 12)]
+        assert all(0.0 < delay <= ceiling for delay in delays)
+        assert delays[0] >= policy.backoff_base_s
+
+    def test_seed_perturbs_only_the_jitter(self):
+        a = RetryPolicy(seed=1).delay_s(0, 1)
+        b = RetryPolicy(seed=2).delay_s(0, 1)
+        assert a != b
+        base = RetryPolicy(jitter=0.0, seed=1).delay_s(0, 1)
+        assert base == RetryPolicy(jitter=0.0, seed=2).delay_s(0, 1)
+        assert base == pytest.approx(RetryPolicy().backoff_base_s)
+
+
+class TestSupervision:
+    def test_worker_crash_is_retried_and_results_recover(self, tmp_path):
+        sentinel = str(tmp_path / "crash-once")
+        tasks = [(None, 1), (sentinel, 2), (None, 3)]
+        with FleetExecutor(2, retry=FAST_RETRY) as fleet:
+            assert fleet.map(_crash_once, tasks) == [2, 4, 6]
+            kinds = [event.kind for event in fleet.events]
+            assert "task-crashed" in kinds
+            assert "pool-respawn" in kinds
+            assert "retry" in kinds
+            assert fleet.respawns >= 1
+            # The respawned pool keeps working for later maps.
+            assert fleet.map(_double, [5, 6]) == [10, 12]
+
+    def test_persistent_crasher_exhausts_budget(self):
+        retry = dataclasses.replace(FAST_RETRY, max_retries=1)
+        with FleetExecutor(2, retry=retry) as fleet:
+            with pytest.raises(TaskCrashed) as info:
+                fleet.map(_crash_always, ["die", "ok"])
+        assert info.value.task_index == 0
+        assert info.value.attempts == 2  # first run + one retry
+
+    def test_deadline_timeout_is_typed_and_attributed(self):
+        retry = dataclasses.replace(FAST_RETRY, max_retries=0)
+        with FleetExecutor(2, retry=retry) as fleet:
+            with pytest.raises(TaskTimeout) as info:
+                fleet.map(_sleep_then_return, [30.0, 0.001], deadline_s=0.3)
+        assert info.value.task_index == 0
+        assert info.value.deadline_s == 0.3
+        assert info.value.attempts == 1
+
+    def test_task_exceptions_are_not_retried(self):
+        with FleetExecutor(2, retry=FAST_RETRY) as fleet:
+            with pytest.raises(ValueError, match="three"):
+                fleet.map(_fail_on_three, [1, 2, 3, 4])
+            assert fleet.events == []
+
+    def test_supervision_events_are_journaled_as_fleet_envelopes(
+        self, tmp_path
+    ):
+        from repro.obs import EnvelopeWriter
+
+        writer = EnvelopeWriter(tmp_path / "store")
+        sentinel = str(tmp_path / "crash-once")
+        fleet = FleetExecutor(
+            2, retry=FAST_RETRY, envelopes=writer,
+            context={"subsystem": "test", "kernel": "ks"},
+        )
+        with fleet:
+            assert fleet.map(_crash_once, [(sentinel, 1), (None, 2)]) == [2, 4]
+        lines = [
+            json.loads(line)
+            for line in writer.journal_path.read_text().splitlines()
+        ]
+        assert lines and all(line["kind"] == "fleet" for line in lines)
+        statuses = {line["status"] for line in lines}
+        assert {"task-crashed", "pool-respawn", "retry"} <= statuses
+        assert all(line["extra"]["subsystem"] == "test" for line in lines)
+        assert all(line["kernel"] == "ks" for line in lines)
+
+
+class TestChaosInjection:
+    def test_hooks_are_noops_without_a_plan(self, monkeypatch):
+        monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+        monkeypatch.setattr(chaos, "_PLAN_CACHE", None)
+        chaos.fire_task_hooks(0)  # must not raise, sleep, or kill
+
+    def test_kill_worker_chaos_leaves_dse_sweep_bytes_identical(
+        self, tmp_path, monkeypatch
+    ):
+        space = ConfigSpace(
+            policies=["p1"], n_workers=[1, 2], fifo_depths=[4, 16],
+            private_caches=[False], cache_lines=[512], cache_ports=[8],
+        )
+
+        def sweep(processes):
+            with Explorer(
+                SMALL_BLUR, space=space, processes=processes,
+                max_cycles=2_000_000,
+            ) as explorer:
+                result = explorer.run(GridStrategy())
+            return json.dumps(result.to_json_dict(), sort_keys=True)
+
+        clean = sweep(1)
+        plan_path = tmp_path / "plan.json"
+        chaos.write_plan(
+            plan_path, [{"kind": "kill-worker", "task_index": 0}]
+        )
+        monkeypatch.setattr(chaos, "_PLAN_CACHE", None)
+        monkeypatch.setenv(chaos.ENV_VAR, str(plan_path))
+        assert sweep(2) == clean
+        # The kill fired exactly once: its claim marker exists, and the
+        # retried task completed without re-firing.
+        assert (tmp_path / "plan.json.markers" / "ev0").exists()
+
+    def test_corrupt_artifact_selects_by_match_and_mode(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        from repro.service.store import content_key
+
+        keep_key = content_key({"name": "keep"})
+        doom_key = content_key({"name": "doomed"})
+        store.put(keep_key, {"name": "keep"})
+        store.put(doom_key, {"name": "doomed"})
+        corrupted = chaos.corrupt_artifact(store.root, match="doomed")
+        assert corrupted == doom_key
+        reader = ArtifactStore(tmp_path / "store")
+        assert reader.get(doom_key) is None  # fails integrity, miss
+        assert reader.get(keep_key) == {"name": "keep"}
+        assert chaos.corrupt_artifact(store.root, key="nonexistent") is None
+
+
+class TestResumableSweeps:
+    def test_faults_resume_replays_checkpoints_byte_identically(
+        self, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "ckpt")
+        full = resilience_sweep(SMALL_BLUR, n_plans=1, seed=3, store=store)
+        assert full.replayed == 0
+        checkpoints = sorted((tmp_path / "ckpt").glob("*/*.json"))
+        assert len(checkpoints) == len(full.records)
+        # Drop one checkpoint: resume replays the rest, recomputes one.
+        victim = checkpoints[0]
+        sidecar = victim.parent / (victim.name + ".sha256")
+        victim.unlink()
+        if sidecar.exists():
+            sidecar.unlink()
+        # Fresh store instance: a cold reader, like a restarted process.
+        resumed = resilience_sweep(
+            SMALL_BLUR, n_plans=1, seed=3,
+            store=ArtifactStore(tmp_path / "ckpt"), resume=True,
+        )
+        assert resumed.replayed == len(full.records) - 1
+        assert resumed.to_dict() == full.to_dict()
+        assert resumed.format() == full.format()
+
+    def test_checkpoints_without_resume_flag_are_ignored(self, tmp_path):
+        store = ArtifactStore(tmp_path / "ckpt")
+        first = resilience_sweep(SMALL_BLUR, n_plans=1, seed=3, store=store)
+        again = resilience_sweep(SMALL_BLUR, n_plans=1, seed=3, store=store)
+        assert again.replayed == 0
+        assert again.to_dict() == first.to_dict()
+
+    def test_sigkilled_sweep_resumes_byte_identically(self, tmp_path):
+        store_root = tmp_path / "ckpt"
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        script = (
+            "import dataclasses\n"
+            "from repro.faults.sweep import resilience_sweep\n"
+            "from repro.kernels import KERNELS_BY_NAME\n"
+            "from repro.service.store import ArtifactStore\n"
+            "spec = dataclasses.replace(\n"
+            "    KERNELS_BY_NAME['1D-Gaussblur'], setup_args=[6, 48])\n"
+            "resilience_sweep(spec, n_plans=2, seed=5, processes=2,\n"
+            f"                 store=ArtifactStore({str(store_root)!r}))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline and proc.poll() is None:
+                if list(store_root.glob("*/*.json")):
+                    break  # at least one checkpoint landed: kill mid-sweep
+                time.sleep(0.02)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+        clean = resilience_sweep(SMALL_BLUR, n_plans=2, seed=5)
+        resumed = resilience_sweep(
+            SMALL_BLUR, n_plans=2, seed=5, processes=2,
+            store=ArtifactStore(store_root), resume=True,
+        )
+        assert resumed.replayed >= 1
+        assert resumed.to_dict() == clean.to_dict()
+        assert resumed.format() == clean.format()

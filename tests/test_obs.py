@@ -142,7 +142,7 @@ class TestEnvelopeSchema:
     def test_kind_catalogue_is_stable(self):
         assert ENVELOPE_KINDS == (
             "sim", "dse-eval", "dse-sweep", "faults", "cosim",
-            "service-job", "bench",
+            "service-job", "bench", "fleet",
         )
 
     def test_ok_and_identity(self):

@@ -8,6 +8,7 @@ ResultCache compatibility shim, queue coalescing with a gated executor,
 and token-bucket refill against a fake clock.
 """
 
+import hashlib
 import json
 import os
 import threading
@@ -204,6 +205,62 @@ class TestArtifactStore:
         # Re-publishing replaces the mirror in place.
         publish(store, key, {"x": 1}, mirror=mirror)
         assert json.loads(mirror.read_text()) == {"x": 1}
+
+
+class TestStoreIntegrity:
+    def test_put_writes_a_matching_integrity_sidecar(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "ab" + "0" * 62
+        store.put(key, {"x": 1})
+        sidecar = store.integrity_path(key)
+        assert sidecar.is_file()
+        digest = hashlib.sha256(
+            store.path(key).read_bytes()
+        ).hexdigest()
+        assert sidecar.read_text().strip() == digest
+
+    def test_corruption_is_quarantined_and_reads_as_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "ab" + "0" * 62
+        store.put(key, {"x": 1})
+        # Flip the payload under the sidecar's nose.
+        store.path(key).write_text('{"x": 2}')
+        reader = ArtifactStore(tmp_path)
+        assert reader.get(key) is None
+        assert reader.stats.corrupt == 1
+        assert reader.stats.misses == 1
+        assert not store.path(key).exists()
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert any(p.name == f"{key}.json.corrupt" for p in quarantined)
+        # The quarantined file never re-enters the addressable tree.
+        assert reader.get(key) is None
+        assert key not in ArtifactStore(tmp_path).keys()
+        # A re-executed job can re-publish under the same key.
+        store.put(key, {"x": 1})
+        assert ArtifactStore(tmp_path).get(key) == {"x": 1}
+
+    def test_strict_get_raises_typed_artifact_corrupt(self, tmp_path):
+        from repro.service import ArtifactCorrupt
+
+        store = ArtifactStore(tmp_path)
+        key = "cd" + "0" * 62
+        store.put(key, {"x": 1})
+        store.path(key).write_text("{garbage")
+        reader = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactCorrupt) as info:
+            reader.get(key, strict=True)
+        assert info.value.key == key
+        assert info.value.quarantined is not None
+
+    def test_legacy_artifact_without_sidecar_is_accepted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "ef" + "0" * 62
+        store.path(key).parent.mkdir(parents=True)
+        store.path(key).write_text(
+            json.dumps({"x": 3}, sort_keys=True)
+        )
+        assert store.get(key) == {"x": 3}
+        assert store.stats.corrupt == 0
 
 
 class TestResultCacheShim:

@@ -11,12 +11,13 @@ executors where real kernels would only add runtime.
 """
 
 import threading
+import time
 
 import pytest
 
 from repro.service import JobRequest, RateLimited, ServiceClient, ServiceError
 from repro.service.app import ServiceConfig, start_service
-from repro.service.client import JobFailed
+from repro.service.client import JobCancelled, JobFailed
 from repro.service.jobs import execute
 from repro.service.store import ArtifactStore
 
@@ -213,3 +214,239 @@ class TestErrorPaths:
             assert conn.getresponse().status == 400
         finally:
             conn.close()
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_terminal(self, tmp_path):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def fake_run(request):
+            started.set()
+            assert gate.wait(10)
+            return {"ok": True}
+
+        config = _config(tmp_path, workers=1)
+        with start_service(config, run=fake_run) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                running = client.submit(JobRequest.make("compile", "ks"))
+                assert started.wait(10)
+                queued = client.submit(JobRequest.make("simulate", "ks"))
+                assert queued["status"] == "queued"
+                cancelled = client.cancel(queued["job_id"])
+                assert cancelled["status"] == "cancelled"
+                assert client.job(queued["job_id"])["status"] == "cancelled"
+                # A cancelled job never produces a result.
+                with pytest.raises(ServiceError) as info:
+                    client.result(queued["job_id"])
+                assert info.value.status == 409
+                # Cancelling a terminal record is an idempotent no-op.
+                assert client.cancel(queued["job_id"])["status"] == "cancelled"
+                gate.set()
+                final = client.wait(running["job_id"], timeout=10)
+                assert final["status"] == "done"
+                assert client.stats()["queue"]["cancelled"] == 1
+
+    def test_cancel_running_job_raises_typed_error_from_run(self, tmp_path):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def fake_run(request):
+            started.set()
+            gate.wait(10)
+            return {"ok": True}
+
+        config = _config(tmp_path, workers=1)
+        with start_service(config, run=fake_run) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                request = JobRequest.make("compile", "ks")
+                record = client.submit(request)
+                assert started.wait(10)
+
+                outcome = {}
+
+                def run_and_capture():
+                    with ServiceClient(handle.host, handle.port) as peer:
+                        try:
+                            peer.run(request, timeout=30)
+                        except BaseException as exc:
+                            outcome["exc"] = exc
+
+                waiter = threading.Thread(target=run_and_capture)
+                waiter.start()
+                # Let the peer's submission coalesce onto the running job
+                # before cancelling, so its run() observes the cancel.
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    if client.job(record["job_id"])["submissions"] >= 2:
+                        break
+                    time.sleep(0.01)
+                client.cancel(record["job_id"])
+                final = client.wait(record["job_id"], timeout=10)
+                assert final["status"] == "cancelled"
+                waiter.join(20)
+                assert isinstance(outcome.get("exc"), JobCancelled)
+                gate.set()  # release the abandoned executor thread
+                assert client.stats()["queue"]["cancelled"] == 1
+
+    def test_unknown_job_cancel_answers_404(self, live_service):
+        _, client = live_service
+        with pytest.raises(ServiceError) as info:
+            client.cancel("job-99999999")
+        assert info.value.status == 404
+
+
+class TestDeadlines:
+    def test_queue_default_deadline_lands_timeout_state(self, tmp_path):
+        gate = threading.Event()
+
+        def fake_run(request):
+            gate.wait(5)
+            return {"ok": True}
+
+        config = _config(tmp_path, workers=1, job_deadline_s=0.2)
+        with start_service(config, run=fake_run) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                record = client.submit(JobRequest.make("compile", "ks"))
+                final = client.wait(record["job_id"], timeout=10)
+                assert final["status"] == "timeout"
+                assert "deadline" in final["error"]
+                with pytest.raises(JobFailed, match="deadline"):
+                    client.result(record["job_id"])
+                assert client.stats()["queue"]["timeouts"] == 1
+                # Nothing landed in the store for the timed-out key.
+                assert client.artifact(record["key"]) is None
+                gate.set()
+
+    def test_per_request_deadline_rides_outside_the_key(self, tmp_path):
+        bounded = JobRequest.make("compile", "ks", deadline_s=0.15)
+        # The deadline is transport-level: the content key is unchanged,
+        # so a deadline must never split the artifact address space.
+        assert bounded.key == JobRequest.make("compile", "ks").key
+        gate = threading.Event()
+
+        def fake_run(request):
+            gate.wait(5)
+            return {"ok": True}
+
+        with start_service(_config(tmp_path, workers=1), run=fake_run) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                record = client.submit(bounded)
+                final = client.wait(record["job_id"], timeout=10)
+                assert final["status"] == "timeout"
+                gate.set()
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_rejects_new_submissions(
+        self, tmp_path
+    ):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def fake_run(request):
+            started.set()
+            assert gate.wait(10)
+            return {"ok": True}
+
+        config = _config(tmp_path, workers=1, drain_timeout=8.0)
+        handle = start_service(config, run=fake_run)
+        client = ServiceClient(handle.host, handle.port)
+        try:
+            record = client.submit(JobRequest.make("compile", "ks"))
+            assert started.wait(10)
+            stopper = threading.Thread(target=handle.stop)
+            stopper.start()
+            deadline = time.monotonic() + 5
+            while (
+                not handle.service.queue.draining
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert handle.service.queue.draining
+            # The HTTP front end stays up through the drain: polls work,
+            # new submissions answer 503.
+            health = client._request("GET", "/v1/healthz")
+            assert health["status"] == "draining" and health["ok"] is False
+            with pytest.raises(ServiceError) as info:
+                client.submit(JobRequest.make("simulate", "ks"))
+            assert info.value.status == 503
+            gate.set()
+            stopper.join(20)
+            assert not stopper.is_alive()
+            # The in-flight job landed its artifact before shutdown.
+            assert handle.service.queue.get(record["job_id"]).status == "done"
+            store = ArtifactStore(tmp_path / "store")
+            assert store.get(record["key"]) == {"ok": True}
+        finally:
+            gate.set()
+            client.close()
+            handle.stop()
+
+    def test_healthz_reports_degraded_queue(self, tmp_path):
+        with start_service(_config(tmp_path), run=lambda r: {}) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                assert client._request("GET", "/v1/healthz")["status"] == "ok"
+                handle.service.queue._degraded = True
+                health = client._request("GET", "/v1/healthz")
+                assert health["status"] == "degraded" and health["ok"]
+
+
+class TestCorruptArtifacts:
+    def test_corrupt_stored_artifact_reexecutes_job(self, tmp_path):
+        from repro.fleet.chaos import corrupt_artifact
+
+        calls = []
+
+        def fake_run(request):
+            calls.append(request.key)
+            return {"value": 42}
+
+        with start_service(_config(tmp_path), run=fake_run) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                request = JobRequest.make("compile", "ks")
+                assert client.run(request, timeout=10) == {"value": 42}
+                assert len(calls) == 1
+                store = handle.service.store
+                assert corrupt_artifact(store.root, key=request.key) == (
+                    request.key
+                )
+                store.drop_memory()  # cold reader, like a restarted server
+                # The corrupt artifact reads as a miss: the job simply
+                # re-executes and re-publishes under the same key.
+                assert client.run(request, timeout=10) == {"value": 42}
+                assert len(calls) == 2
+                stats = client.stats()["store"]
+                assert stats["corrupt"] >= 1
+                quarantine = store.root / "quarantine"
+                assert any(quarantine.iterdir())
+                assert client.artifact(request.key) == {"value": 42}
+
+
+class TestClientRetries:
+    def test_retries_absorb_rate_limits(self, tmp_path):
+        config = _config(tmp_path, rate_capacity=1, rate_refill_per_s=50.0)
+        with start_service(config, run=lambda r: {"ok": True}) as handle:
+            with ServiceClient(
+                handle.host, handle.port, client_id="r"
+            ) as client:
+                client.submit(JobRequest.make("compile", "ks"))
+                # Default keeps the historical contract: first 429 raises.
+                with pytest.raises(RateLimited):
+                    client.submit(JobRequest.make("simulate", "ks"))
+                # retries= sleeps out the Retry-After hints and lands it.
+                artifact = client.run(
+                    JobRequest.make("simulate", "ks"), timeout=10, retries=5
+                )
+                assert artifact == {"ok": True}
+
+    def test_retry_delay_is_deterministic_and_capped(self, tmp_path):
+        from repro.service.client import RETRY_AFTER_CAP_S
+
+        client = ServiceClient("127.0.0.1", 1, client_id="x")
+        assert client._retry_delay(1.0, 1) == client._retry_delay(1.0, 1)
+        assert client._retry_delay(1.0, 1) != client._retry_delay(1.0, 2)
+        # A hostile/misconfigured Retry-After cannot park the client.
+        assert client._retry_delay(1e9, 1) <= RETRY_AFTER_CAP_S * 1.25
+        other = ServiceClient("127.0.0.1", 1, client_id="y")
+        assert client._retry_delay(1.0, 1) != other._retry_delay(1.0, 1)
