@@ -1,0 +1,90 @@
+"""Per-kernel accelerator scorecard over the full nine-kernel registry.
+
+One paper-scale run of every registered kernel (the Table 2 five plus
+the second wave) on the soft core, the LegUp-style baseline and the
+CGPA P1 pipeline.  For each kernel the scorecard records cycles, ALUTs,
+energy and the speedups over both baselines, and journals one ``bench``
+run envelope per kernel into ``benchmarks/results`` — so
+``python -m repro.harness obs query benchmarks/results --kind bench``
+tracks per-kernel trends, and ``--json`` captures the aggregate for
+BENCH_kernels.json perf tracking.
+
+Unlike ``bench_fig4_speedup`` (which reproduces the paper's figure over
+the paper's five kernels), this sweep is the second wave's home: the
+irregular workloads have no published numbers, so the tracked claim is
+directional — the pipeline must never lose to the LegUp baseline.
+"""
+
+from conftest import emit, emit_json
+
+from repro.harness import geomean, run_kernel
+from repro.kernels import ALL_KERNELS, PAPER_KERNELS
+
+
+def test_kernel_scorecard(benchmark, results_dir, json_path):
+    runs = {}
+
+    def run_all():
+        for spec in ALL_KERNELS:
+            runs[spec.name] = run_kernel(spec, ("mips", "legup", "cgpa-p1"))
+        return runs
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    paper_names = {spec.name for spec in PAPER_KERNELS}
+    rows = []
+    for spec in ALL_KERNELS:
+        run = runs[spec.name]
+        p1 = run.results["cgpa-p1"]
+        rows.append({
+            "kernel": spec.name,
+            "tier": "paper" if spec.name in paper_names else "second-wave",
+            "signature": p1.signature,
+            "cycles": p1.cycles,
+            "aluts": p1.aluts,
+            "energy_uj": p1.energy_uj,
+            "speedup_vs_mips": run.speedup("cgpa-p1"),
+            "speedup_vs_legup": run.speedup("cgpa-p1", baseline="legup"),
+            "area_vs_legup": p1.aluts / run.results["legup"].aluts,
+        })
+        # One envelope per kernel: the obs spine sees each workload's
+        # trend line individually.
+        emit_json(results_dir, None, "kernel_scorecard", rows[-1],
+                  kernel=spec.name)
+
+    lines = [
+        "Per-kernel scorecard: CGPA P1 at paper scale (all nine kernels)",
+        "",
+        f"{'kernel':<14s} {'tier':<12s} {'stages':<7s} {'cycles':>9s} "
+        f"{'ALUTs':>7s} {'energy':>9s} {'vs mips':>8s} {'vs legup':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['kernel']:<14s} {row['tier']:<12s} "
+            f"{row['signature']:<7s} {row['cycles']:>9d} "
+            f"{row['aluts']:>7d} {row['energy_uj']:>7.1f}uJ "
+            f"{row['speedup_vs_mips']:>7.2f}x "
+            f"{row['speedup_vs_legup']:>8.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"geomean vs mips : "
+        f"{geomean([r['speedup_vs_mips'] for r in rows]):.2f}x"
+    )
+    lines.append(
+        f"geomean vs legup: "
+        f"{geomean([r['speedup_vs_legup'] for r in rows]):.2f}x"
+    )
+    emit(results_dir, "kernel_scorecard", "\n".join(lines))
+
+    emit_json(results_dir, json_path, "kernel_scorecard", {
+        "rows": rows,
+        "geomean_vs_mips": geomean([r["speedup_vs_mips"] for r in rows]),
+        "geomean_vs_legup": geomean([r["speedup_vs_legup"] for r in rows]),
+    })
+
+    # Directional acceptance: the pipeline never loses to either
+    # baseline, on any kernel, paper or second wave.
+    for row in rows:
+        assert row["speedup_vs_mips"] > 1.0, row
+        assert row["speedup_vs_legup"] > 1.0, row

@@ -11,8 +11,10 @@ setup and closure generation excluded) for every kernel under the
 paper-default memory system.
 
 Acceptance bar: identical reports everywhere, and >= 2x wall-clock
-speedup over the event engine on at least 3 of the 5 kernels.  Pass
-``--json <path>`` for BENCH_sim_specialize.json perf tracking.
+speedup over the event engine on at least 6 of the 9 kernels (the
+second-wave workloads are small, so a couple may hover just under 2x
+from fixed per-run overheads).  Pass ``--json <path>`` for
+BENCH_sim_specialize.json perf tracking.
 """
 
 import time
@@ -28,7 +30,7 @@ from repro.transforms import optimize_module
 
 #: Kernels on which the specialized engine must at least double the
 #: event engine's simulation rate.
-REQUIRED_2X_KERNELS = 3
+REQUIRED_2X_KERNELS = 6
 
 #: Timed runs per (kernel, engine); the minimum is reported, so one
 #: scheduler hiccup cannot fail the acceptance bar.

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..kernels import ALL_KERNELS, KernelSpec
+from ..kernels import ALL_KERNELS, PAPER_KERNELS, KernelSpec
 from .runner import KernelRun, run_backend, run_kernel
 
 
@@ -31,8 +31,14 @@ def run_all_kernels(
     fifo_depth: int = 16,
 ) -> dict[str, KernelRun]:
     """Simulate every kernel on every applicable backend (shared by all
-    table/figure drivers so the work is done once)."""
-    kernels = kernels if kernels is not None else ALL_KERNELS
+    table/figure drivers so the work is done once).
+
+    Defaults to :data:`~repro.kernels.PAPER_KERNELS`: the table/figure
+    drivers below compare against the paper's published numbers, which
+    only exist for the original five.  Pass ``kernels=ALL_KERNELS`` (or
+    any subset) to widen a run — the drivers iterate whatever ``runs``
+    holds."""
+    kernels = kernels if kernels is not None else PAPER_KERNELS
     runs: dict[str, KernelRun] = {}
     for spec in kernels:
         backends = ["mips", "legup", "cgpa-p1"]
@@ -76,7 +82,7 @@ def table2(runs: dict[str, KernelRun]) -> list[Table2Row]:
     """Regenerate Table 2 rows from precomputed kernel runs."""
 
     rows = []
-    for spec in ALL_KERNELS:
+    for spec in (k for k in ALL_KERNELS if k.name in runs):
         run = runs[spec.name]
         p2 = run.results.get("cgpa-p2")
         rows.append(
@@ -132,7 +138,7 @@ def figure4(runs: dict[str, KernelRun]) -> Fig4Data:
     """Regenerate Figure 4 data from precomputed kernel runs."""
 
     rows = []
-    for spec in ALL_KERNELS:
+    for spec in (k for k in ALL_KERNELS if k.name in runs):
         run = runs[spec.name]
         rows.append(
             Fig4Row(
@@ -170,7 +176,7 @@ def table3(runs: dict[str, KernelRun]) -> list[Table3Row]:
     """Regenerate Table 3 rows from precomputed kernel runs."""
 
     rows: list[Table3Row] = []
-    for spec in ALL_KERNELS:
+    for spec in (k for k in ALL_KERNELS if k.name in runs):
         run = runs[spec.name]
         paper = spec.paper
         configs = [("legup", "Legup"), ("cgpa-p1", "CGPA (P1)")]

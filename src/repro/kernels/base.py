@@ -13,12 +13,28 @@ CGPA pipeline — is invoked with bit-identical inputs.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..analysis.shapes import RegionShapes, Shape
 
 #: Name of the global C array kernels use to publish their arguments.
 KARGS_GLOBAL = "kargs"
+
+
+def workload_rng(seed: int):
+    """Deterministic RNG for Python-side workload generators.
+
+    ``random.Random`` (Mersenne Twister) is specified to produce the same
+    sequence for the same seed on every platform, Python version and
+    process — the property the fleet/DSE byte-identity guarantees lean
+    on.  The seed is pre-mixed so small consecutive seeds land in
+    well-separated generator states.
+    """
+    import random
+
+    return random.Random((seed * 0x9E3779B1 + 0x6D2B79F5) & 0xFFFFFFFF)
 
 #: Deterministic LCG shared by all kernel setup codes (compiled C).
 RNG_SOURCE = """
@@ -66,10 +82,39 @@ class KernelSpec:
     #: "all" declares every site an acyclic list (workloads guarantee it).
     list_shape_sites: str | list[int] = "all"
     paper: PaperNumbers | None = None
+    #: Seeded synthetic workload generator: ``seed -> setup_args``.  Every
+    #: kernel ships one so DSE sweeps, fault campaigns and the conformance
+    #: suite can draw *meaningfully different* input footprints (graph /
+    #: table / matrix shapes) that are still deterministic per seed —
+    #: ``workload_generator(s)`` must return the same list on every call,
+    #: in every process (guarded by the determinism tests).
+    workload_generator: Callable[[int], list[int]] | None = None
 
     @property
     def supports_p2(self) -> bool:
         return self.expected_p2 is not None
+
+    def workload_args(self, seed: int) -> list[int]:
+        """Setup arguments for the seeded synthetic workload ``seed``.
+
+        Falls back to the fixed paper-scale :attr:`setup_args` when the
+        kernel declares no generator (seed 0 is pinned to the defaults
+        for every kernel, so ``workload_args(0)`` is always the shipped
+        baseline footprint).
+        """
+        if self.workload_generator is None or seed == 0:
+            return list(self.setup_args)
+        return list(self.workload_generator(seed))
+
+    def with_workload(self, seed: int) -> "KernelSpec":
+        """A derived spec whose ``setup_args`` are the seeded workload.
+
+        The derived spec flows through every backend unchanged — the
+        harness, DSE evaluator, fault sweeps and co-simulation all read
+        ``setup_args``, so one ``spec.with_workload(seed)`` call retargets
+        the whole verification matrix at a different input footprint.
+        """
+        return dataclasses.replace(self, setup_args=self.workload_args(seed))
 
     def shapes_for(self, module) -> RegionShapes:
         """Region shape declarations for this kernel's workload.

@@ -1,0 +1,141 @@
+"""bfs: breadth-first search over a CSR graph (graph analytics).
+
+Second-wave irregular kernel (ROADMAP item 4).  The loop is driven by a
+*worklist* — the frontier queue grows while it is being drained, so the
+trip count, the memory footprint and even the iteration order are all
+data-dependent.  The whole queue/visited machinery is one big sequential
+dependence cycle (each dequeue depends on earlier enqueues through
+memory), which is exactly why classic HLS serialises this loop; CGPA
+still extracts pipeline parallelism from the side computation: the
+per-vertex adjacency signature (a multi-round hash over the read-only
+CSR arrays) is side-effect-free and becomes the parallel stage, fed by
+the dequeue stage and drained by the signature reduction.  Pipeline
+shape: S-P-S.
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, workload_rng
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+void* malloc(int n);
+
+unsigned kargs[8];
+
+void setup(int seed, int nverts, int degree) {
+    rng_state = seed * 2654435761 + 12345;
+    int* rowptr = (int*)malloc((nverts + 1) * sizeof(int));
+    int nedges = 0;
+    rowptr[0] = 0;
+    for (int i = 0; i < nverts; i++) {
+        int count = rnd() % (2 * degree + 1);
+        nedges = nedges + count;
+        rowptr[i + 1] = nedges;
+    }
+    int* col = (int*)malloc((nedges + 1) * sizeof(int));
+    for (int k = 0; k < nedges; k++)
+        col[k] = rnd() % nverts;
+    int* dist = (int*)malloc(nverts * sizeof(int));
+    for (int v = 0; v < nverts; v++)
+        dist[v] = -1;
+    int* queue = (int*)malloc(nverts * sizeof(int));
+    dist[0] = 0;
+    queue[0] = 0;
+    kargs[0] = (unsigned)rowptr;
+    kargs[1] = (unsigned)col;
+    kargs[2] = (unsigned)dist;
+    kargs[3] = (unsigned)queue;
+    kargs[4] = (unsigned)nverts;
+}
+
+int kernel(int* rowptr, int* col, int* dist, int* queue, int nverts) {
+    int head = 0;
+    int tail = 1;
+    int sig = 0;
+    while (head < tail) {
+        int u = queue[head];
+        head++;
+        int begin = rowptr[u];
+        int end = rowptr[u + 1];
+        /* parallel section: adjacency signature over the read-only CSR
+           arrays (the expensive per-vertex analytics payload). */
+        int h = u * 0x9e3779b1;
+        for (int j = begin; j < end; j++) {
+            int c = col[j] + 40503;
+            h = (h ^ c) * 0x45d9f3b;
+            h = h ^ (h >> 15);
+        }
+        sig += h;
+        /* sequential section: frontier expansion — enqueues feed later
+           dequeues, the loop-carried cycle that keeps this stage serial. */
+        int du = dist[u];
+        for (int j = begin; j < end; j++) {
+            int v = col[j];
+            if (dist[v] < 0) {
+                dist[v] = du + 1;
+                queue[tail] = v;
+                tail++;
+            }
+        }
+    }
+    return sig;
+}
+
+double check(void) {
+    int* dist = (int*)kargs[2];
+    int nverts = (int)kargs[4];
+    double sum = 0.0;
+    int reached = 0;
+    for (int v = 0; v < nverts; v++) {
+        if (dist[v] >= 0) {
+            reached++;
+            sum += (double)(dist[v] * 7 + v % 13);
+        }
+    }
+    return sum + 1000.0 * reached;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(1, 10, 2);
+    kernel((int*)kargs[0], (int*)kargs[1], (int*)kargs[2],
+           (int*)kargs[3], (int)kargs[4]);
+}
+"""
+)
+
+
+def workload(seed: int) -> list[int]:
+    """Seeded graph shapes: vertex count and mean degree vary per seed.
+
+    Degree spans sparse chains (frontier mostly dies out) to well-mixed
+    expanders (frontier floods the whole graph), so the worklist length —
+    and with it every backend's cycle count — differs meaningfully
+    between seeds.
+    """
+    rng = workload_rng(seed)
+    nverts = rng.randrange(32, 193)
+    degree = rng.randrange(1, 6)
+    return [seed & 0x7FFFFFFF, nverts, degree]
+
+
+BFS = KernelSpec(
+    name="bfs",
+    domain="Graph Analytics",
+    description=(
+        "worklist breadth-first search over a CSR graph with per-vertex"
+        " adjacency signatures"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[1, 96, 3],
+    n_kernel_args=5,
+    check_function="check",
+    expected_p1="S-P-S",
+    expected_p2=None,
+    workload_generator=workload,
+)

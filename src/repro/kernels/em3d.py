@@ -9,7 +9,7 @@ Table 2); P2 instead replicates the traversal into all workers.
 
 from __future__ import annotations
 
-from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers, workload_rng
 
 SOURCE = (
     RNG_SOURCE
@@ -98,6 +98,14 @@ void driver(void) {
 """
 )
 
+def workload(seed: int) -> list[int]:
+    """Seeded bipartite-graph shapes: E/H node counts and in-degree (the
+    parallel stage's gather width follows ``degree``)."""
+    rng = workload_rng(seed)
+    return [rng.randrange(64, 257), rng.randrange(48, 193),
+            rng.randrange(2, 11)]
+
+
 EM3D = KernelSpec(
     name="em3d",
     domain="3D Simulation",
@@ -126,4 +134,5 @@ EM3D = KernelSpec(
         cgpa_p2_aluts=2624,
         cgpa_p2_energy_uj=2.49,
     ),
+    workload_generator=workload,
 )

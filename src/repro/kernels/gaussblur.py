@@ -16,7 +16,7 @@ LegUp-embedded co-processor would be.
 
 from __future__ import annotations
 
-from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers, workload_rng
 
 SOURCE = (
     RNG_SOURCE
@@ -90,6 +90,13 @@ void driver(void) {
 """
 )
 
+def workload(seed: int) -> list[int]:
+    """Seeded image shapes: row count and row width (width >= 8 keeps the
+    5-tap window and the padded row layout valid)."""
+    rng = workload_rng(seed)
+    return [rng.randrange(4, 17), rng.randrange(8, 129)]
+
+
 GAUSSBLUR = KernelSpec(
     name="1D-Gaussblur",
     domain="Image Processing",
@@ -118,4 +125,5 @@ GAUSSBLUR = KernelSpec(
         cgpa_p2_aluts=4168,
         cgpa_p2_energy_uj=1.55,
     ),
+    workload_generator=workload,
 )

@@ -11,7 +11,7 @@ Pipeline shape: S-P-S (Table 2).
 
 from __future__ import annotations
 
-from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers, workload_rng
 
 SOURCE = (
     RNG_SOURCE
@@ -89,6 +89,14 @@ void driver(void) {
 """
 )
 
+def workload(seed: int) -> list[int]:
+    """Seeded index shapes: record count and bucket-table size (chain
+    depth, and so the sequential stage's read-modify-write cost, follows
+    the ``nitems``:``nbuckets`` ratio)."""
+    rng = workload_rng(seed)
+    return [rng.randrange(128, 641), rng.choice([16, 32, 64, 128])]
+
+
 HASH_INDEXING = KernelSpec(
     name="Hash-indexing",
     domain="Database",
@@ -114,4 +122,5 @@ HASH_INDEXING = KernelSpec(
         legup_energy_uj=12.1,
         cgpa_energy_uj=14.6,
     ),
+    workload_generator=workload,
 )

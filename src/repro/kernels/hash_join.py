@@ -1,0 +1,154 @@
+"""hash-join: probe phase of an in-memory equi-join (database).
+
+Second-wave irregular kernel (ROADMAP item 4).  ``setup`` plays the
+build phase — it hashes the build relation into an array of bucket
+chains — and the accelerated loop is the probe phase: for every tuple of
+the probe relation (a linked list, the heavyweight traversal stage),
+hash its key and walk the matching bucket chain counting matches and
+summing payloads.  Chain lengths are data-dependent (hash skew) and the
+chain walk is a pointer chase into the read-only build table, so the
+whole probe is side-effect-free and becomes the parallel stage; the
+match/payload aggregation is the sequential reduction.  Pipeline shape:
+S-P-S — the same partition the paper's Hash-indexing kernel gets, but
+with the *read* side (probe) under test instead of the write side
+(build).
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, workload_rng
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+typedef struct tup {
+    int key;
+    int payload;
+    struct tup* next;
+    struct tup* bnext;
+} tup_t;
+
+void* malloc(int n);
+
+unsigned kargs[8];
+
+void setup(int seed, int nbuild, int nprobe, int nbuckets) {
+    rng_state = seed * 2654435761 + 12345;
+    int keyspace = nbuild / 2 + 1;
+    tup_t** buckets = (tup_t**)malloc(nbuckets * sizeof(tup_t*));
+    for (int b = 0; b < nbuckets; b++)
+        buckets[b] = 0;
+    for (int i = 0; i < nbuild; i++) {
+        tup_t* t = (tup_t*)malloc(sizeof(tup_t));
+        t->key = rnd() % keyspace;
+        t->payload = rnd() % 1000;
+        t->next = 0;
+        int h = t->key;
+        h = h ^ (h >> 12);
+        h = h * 0x2545f491;
+        h = h ^ (h >> 9);
+        if (h < 0) h = -h;
+        h = h % nbuckets;
+        t->bnext = buckets[h];
+        buckets[h] = t;
+    }
+    tup_t* probe = 0;
+    for (int i = 0; i < nprobe; i++) {
+        tup_t* t = (tup_t*)malloc(sizeof(tup_t));
+        t->key = rnd() % keyspace;
+        t->payload = rnd() % 1000;
+        t->bnext = 0;
+        t->next = probe;
+        probe = t;
+    }
+    kargs[0] = (unsigned)probe;
+    kargs[1] = (unsigned)buckets;
+    kargs[2] = (unsigned)nbuckets;
+}
+
+int kernel(tup_t* probe, tup_t** buckets, int nbuckets) {
+    int matched = 0;
+    int acc = 0;
+    for ( ; probe; probe = probe->next) {
+        /* parallel section: hash the probe key and walk the bucket
+           chain (read-only pointer chase, data-dependent length). */
+        int key = probe->key;
+        int h = key;
+        h = h ^ (h >> 12);
+        h = h * 0x2545f491;
+        h = h ^ (h >> 9);
+        if (h < 0) h = -h;
+        h = h % nbuckets;
+        int hits = 0;
+        int psum = 0;
+        for (tup_t* t = buckets[h]; t; t = t->bnext) {
+            if (t->key == key) {
+                hits++;
+                psum += t->payload;
+            }
+        }
+        /* sequential section: join-result aggregation. */
+        matched += hits;
+        acc += psum ^ (probe->payload & 255);
+    }
+    return matched * 65536 + (acc & 65535);
+}
+
+double check(void) {
+    /* Independent nested-loop join (no hashing) over the same data. */
+    tup_t* probe = (tup_t*)kargs[0];
+    tup_t** buckets = (tup_t**)kargs[1];
+    int nbuckets = (int)kargs[2];
+    double sum = 0.0;
+    for ( ; probe; probe = probe->next) {
+        for (int b = 0; b < nbuckets; b++) {
+            for (tup_t* t = buckets[b]; t; t = t->bnext) {
+                if (t->key == probe->key)
+                    sum += (double)(t->payload % 997) + 0.5;
+            }
+        }
+    }
+    return sum;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(1, 8, 6, 4);
+    kernel((tup_t*)kargs[0], (tup_t**)kargs[1], (int)kargs[2]);
+}
+"""
+)
+
+
+def workload(seed: int) -> list[int]:
+    """Seeded table shapes: build/probe cardinality and bucket count.
+
+    The build:bucket ratio controls chain length (hash skew), so seeds
+    range from near-perfect hashing to heavily chained buckets — the
+    parallel stage's pointer-chase depth changes with every seed.
+    """
+    rng = workload_rng(seed)
+    nbuild = rng.randrange(32, 193)
+    nprobe = rng.randrange(24, 129)
+    nbuckets = rng.choice([4, 8, 16, 32])
+    return [seed & 0x7FFFFFFF, nbuild, nprobe, nbuckets]
+
+
+HASH_JOIN = KernelSpec(
+    name="hash-join",
+    domain="Database",
+    description=(
+        "hash-join probe: per-tuple key hash plus a data-dependent bucket"
+        " chain walk against the build table"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[1, 96, 64, 16],
+    n_kernel_args=3,
+    check_function="check",
+    expected_p1="S-P-S",
+    expected_p2=None,
+    workload_generator=workload,
+)

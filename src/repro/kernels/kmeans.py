@@ -11,7 +11,7 @@ section), then updates ``membership``, ``new_centers`` and the counters
 
 from __future__ import annotations
 
-from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers, workload_rng
 
 SOURCE = (
     RNG_SOURCE
@@ -112,6 +112,15 @@ void driver(void) {
 """
 )
 
+def workload(seed: int) -> list[int]:
+    """Seeded clustering shapes: point count, cluster count and feature
+    dimensionality (the parallel stage's distance loop scales with
+    ``nclusters * nfeatures``)."""
+    rng = workload_rng(seed)
+    return [rng.randrange(32, 161), rng.randrange(2, 9),
+            rng.randrange(4, 13)]
+
+
 KMEANS = KernelSpec(
     name="K-means",
     domain="Machine Learning",
@@ -137,4 +146,5 @@ KMEANS = KernelSpec(
         legup_energy_uj=22.1,
         cgpa_energy_uj=22.9,
     ),
+    workload_generator=workload,
 )

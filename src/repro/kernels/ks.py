@@ -10,7 +10,7 @@ sequential reduction (stage 3).  Pipeline shape: S-P-S.
 
 from __future__ import annotations
 
-from .base import RNG_SOURCE, KernelSpec, PaperNumbers
+from .base import RNG_SOURCE, KernelSpec, PaperNumbers, workload_rng
 
 SOURCE = (
     RNG_SOURCE
@@ -90,6 +90,13 @@ void driver(void) {
 """
 )
 
+def workload(seed: int) -> list[int]:
+    """Seeded partition sizes: asymmetric A/B lists stress the pipeline's
+    load balance (the inner loop's trip count is ``nb``)."""
+    rng = workload_rng(seed)
+    return [rng.randrange(12, 65), rng.randrange(12, 65)]
+
+
 KS = KernelSpec(
     name="ks",
     domain="Graph Partition",
@@ -115,4 +122,5 @@ KS = KernelSpec(
         legup_energy_uj=104.5,
         cgpa_energy_uj=131.7,
     ),
+    workload_generator=workload,
 )

@@ -1,0 +1,123 @@
+"""spmv: sparse matrix-vector product over a CSR matrix (scientific).
+
+Second-wave irregular kernel (ROADMAP item 4).  The outer loop walks the
+rows of a CSR matrix; the inner loop's trip count is *data-dependent*
+(``rowptr[i] .. rowptr[i+1]``) and its loads are *indirect*
+(``x[colidx[j]]``) — the two access patterns classic HLS pipelines
+cannot schedule statically and CGPA absorbs with FIFO decoupling.  The
+per-row dot product is side-effect-free, so the partitioner makes it the
+parallel stage; the ``y[i]`` store and the running norm form the
+sequential reduction behind it.  Pipeline shape: P-S (the row induction
+is lightweight and replicates into the workers under P1; P2 pulls the
+store-free reduction in too, collapsing to a single parallel stage).
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, workload_rng
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+void* malloc(int n);
+
+unsigned kargs[8];
+
+void setup(int seed, int nrows, int ncols, int row_nnz) {
+    rng_state = seed * 2654435761 + 12345;
+    int* rowptr = (int*)malloc((nrows + 1) * sizeof(int));
+    int nnz = 0;
+    rowptr[0] = 0;
+    for (int i = 0; i < nrows; i++) {
+        int count = 1 + rnd() % (2 * row_nnz - 1);
+        nnz = nnz + count;
+        rowptr[i + 1] = nnz;
+    }
+    int* colidx = (int*)malloc(nnz * sizeof(int));
+    double* vals = (double*)malloc(nnz * sizeof(double));
+    for (int k = 0; k < nnz; k++) {
+        colidx[k] = rnd() % ncols;
+        vals[k] = 0.001 * (rnd() % 2000) - 1.0;
+    }
+    double* x = (double*)malloc(ncols * sizeof(double));
+    for (int c = 0; c < ncols; c++)
+        x[c] = 0.01 * (rnd() % 200) - 1.0;
+    double* y = (double*)malloc(nrows * sizeof(double));
+    for (int r = 0; r < nrows; r++)
+        y[r] = 0.0;
+    kargs[0] = (unsigned)rowptr;
+    kargs[1] = (unsigned)colidx;
+    kargs[2] = (unsigned)vals;
+    kargs[3] = (unsigned)x;
+    kargs[4] = (unsigned)y;
+    kargs[5] = (unsigned)nrows;
+}
+
+double kernel(int* rowptr, int* colidx, double* vals, double* x, double* y,
+              int nrows) {
+    double norm = 0.0;
+    for (int i = 0; i < nrows; i++) {
+        /* parallel section: data-dependent dot product with indirect
+           gathers from x. */
+        double acc = 0.0;
+        int end = rowptr[i + 1];
+        for (int j = rowptr[i]; j < end; j++)
+            acc += vals[j] * x[colidx[j]];
+        /* sequential section: result store + running norm. */
+        y[i] = acc;
+        norm += acc;
+    }
+    return norm;
+}
+
+double check(void) {
+    double* y = (double*)kargs[4];
+    int nrows = (int)kargs[5];
+    double sum = 0.0;
+    for (int i = 0; i < nrows; i++)
+        sum += y[i] * (1.0 + 0.001 * i);
+    return sum;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(1, 6, 8, 3);
+    kernel((int*)kargs[0], (int*)kargs[1], (double*)kargs[2],
+           (double*)kargs[3], (double*)kargs[4], (int)kargs[5]);
+}
+"""
+)
+
+
+def workload(seed: int) -> list[int]:
+    """Seeded CSR shapes: rows/columns/density vary per seed.
+
+    Ranges straddle the default footprint so fault and DSE sweeps see
+    short-fat, tall-thin and denser matrices — meaningfully different
+    FIFO traffic and cache behaviour, still small enough to co-simulate.
+    """
+    rng = workload_rng(seed)
+    nrows = rng.randrange(16, 97)
+    ncols = rng.randrange(8, 65)
+    row_nnz = rng.randrange(2, 7)
+    return [seed & 0x7FFFFFFF, nrows, ncols, row_nnz]
+
+
+SPMV = KernelSpec(
+    name="spmv",
+    domain="Scientific",
+    description=(
+        "CSR sparse matrix-vector product with data-dependent row lengths"
+        " and indirect x[colidx[j]] gathers"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[1, 48, 32, 3],
+    n_kernel_args=6,
+    check_function="check",
+    expected_p1="P-S",
+    expected_p2="P",
+    workload_generator=workload,
+)

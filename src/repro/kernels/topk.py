@@ -1,0 +1,131 @@
+"""top-k: streaming top-k selection with a bounded min-heap (analytics).
+
+Second-wave irregular kernel (ROADMAP item 4).  The loop streams a
+linked list of records; each record gets a multi-round integer score
+(side-effect-free — the parallel stage) and the k best scores are kept
+in a min-heap whose root is the current admission threshold.  The heap
+update is the interesting sequential section: it runs *conditionally*
+(only scores beating the root), its sift-down loop has a data-dependent,
+``break``-terminated trip count, and every iteration's memory addresses
+depend on the comparisons before them — an early-exit idiom the fuzzers
+now generate too.  Pipeline shape: S-P-S.
+"""
+
+from __future__ import annotations
+
+from .base import RNG_SOURCE, KernelSpec, workload_rng
+
+SOURCE = (
+    RNG_SOURCE
+    + """
+typedef struct rec {
+    int a;
+    int b;
+    struct rec* next;
+} rec_t;
+
+void* malloc(int n);
+
+unsigned kargs[8];
+
+void setup(int seed, int nrecs, int k) {
+    rng_state = seed * 2654435761 + 12345;
+    rec_t* head = 0;
+    for (int i = 0; i < nrecs; i++) {
+        rec_t* r = (rec_t*)malloc(sizeof(rec_t));
+        r->a = rnd();
+        r->b = rnd() % 4096;
+        r->next = head;
+        head = r;
+    }
+    int* heap = (int*)malloc(k * sizeof(int));
+    for (int i = 0; i < k; i++)
+        heap[i] = -2147483647;
+    kargs[0] = (unsigned)head;
+    kargs[1] = (unsigned)heap;
+    kargs[2] = (unsigned)k;
+}
+
+int kernel(rec_t* recs, int* heap, int k) {
+    int replaced = 0;
+    for ( ; recs; recs = recs->next) {
+        /* parallel section: multi-round integer score. */
+        int s = recs->a;
+        s = s ^ (s >> 16);
+        s = s * 0x45d9f3b;
+        s = s ^ (s >> 13);
+        s = s + recs->b * 131;
+        s = s ^ (s >> 11);
+        s = s & 0x3fffffff;
+        /* sequential section: admission test + replace-root sift-down
+           with a data-dependent, break-terminated trip count. */
+        if (s > heap[0]) {
+            replaced++;
+            heap[0] = s;
+            int i = 0;
+            while (1) {
+                int m = i;
+                int l = 2 * i + 1;
+                int r = 2 * i + 2;
+                if (l < k && heap[l] < heap[m]) m = l;
+                if (r < k && heap[r] < heap[m]) m = r;
+                if (m == i) break;
+                int t = heap[i];
+                heap[i] = heap[m];
+                heap[m] = t;
+                i = m;
+            }
+        }
+    }
+    return replaced;
+}
+
+double check(void) {
+    int* heap = (int*)kargs[1];
+    int k = (int)kargs[2];
+    double sum = 0.0;
+    for (int i = 0; i < k; i++)
+        sum += (double)(heap[i] % 100003) + 0.125 * i;
+    return sum;
+}
+
+/* Binds kernel arguments for whole-module pointer analysis (never run). */
+void driver(void) {
+    setup(1, 10, 4);
+    kernel((rec_t*)kargs[0], (int*)kargs[1], (int)kargs[2]);
+}
+"""
+)
+
+
+def workload(seed: int) -> list[int]:
+    """Seeded stream shapes: record count and heap size vary per seed.
+
+    Small heaps make admissions rare (the sequential stage mostly idles);
+    large heaps admit often and sift deeper — opposite ends of the
+    pipeline's load balance.
+    """
+    rng = workload_rng(seed)
+    nrecs = rng.randrange(64, 321)
+    k = rng.choice([4, 8, 16, 32])
+    return [seed & 0x7FFFFFFF, nrecs, k]
+
+
+TOPK = KernelSpec(
+    name="top-k",
+    domain="Analytics",
+    description=(
+        "streaming top-k selection: scored records filtered through a"
+        " bounded min-heap with break-terminated sift-down"
+    ),
+    source=SOURCE,
+    accel_function="kernel",
+    measure_entry="kernel",
+    setup_function="setup",
+    setup_args=[1, 128, 8],
+    n_kernel_args=3,
+    check_function="check",
+    expected_p1="S-P-S",
+    expected_p2="P-S",
+    workload_generator=workload,
+)

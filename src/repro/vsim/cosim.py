@@ -76,6 +76,10 @@ SMOKE_SETUP_ARGS: dict[str, list[int]] = {
     "1D-Gaussblur": [4, 24],
     "Hash-indexing": [48, 16],
     "K-means": [12, 3, 4],
+    "bfs": [1, 14, 2],
+    "hash-join": [1, 12, 10, 4],
+    "spmv": [1, 6, 8, 2],
+    "top-k": [1, 12, 4],
 }
 
 _BROADCAST_SEL = 0xF

@@ -11,7 +11,13 @@ import pytest
 
 from repro.frontend import compile_c
 from repro.interp import Interpreter
-from repro.kernels import ALL_KERNELS, KERNELS_BY_NAME, KernelSpec
+from repro.kernels import (
+    ALL_KERNELS,
+    KERNELS_BY_NAME,
+    PAPER_KERNELS,
+    SECOND_WAVE,
+    KernelSpec,
+)
 from repro.pipeline import ReplicationPolicy, cgpa_compile, run_transformed
 from repro.transforms import optimize_module
 
@@ -116,19 +122,25 @@ class TestFunctionalEquivalence:
 
 class TestKernelSpecs:
     def test_registry_complete(self):
-        assert len(ALL_KERNELS) == 5
+        assert len(PAPER_KERNELS) == 5
+        assert len(SECOND_WAVE) == 4
+        assert ALL_KERNELS == PAPER_KERNELS + SECOND_WAVE
         assert set(KERNELS_BY_NAME) == {
             "K-means", "Hash-indexing", "ks", "em3d", "1D-Gaussblur",
+            "bfs", "hash-join", "spmv", "top-k",
         }
 
     def test_paper_numbers_present(self):
-        for spec in ALL_KERNELS:
+        for spec in PAPER_KERNELS:
             assert spec.paper is not None
             assert spec.paper.legup_aluts > 0
             assert spec.paper.cgpa_aluts > spec.paper.legup_aluts
+        # The second wave deliberately carries no paper numbers.
+        for spec in SECOND_WAVE:
+            assert spec.paper is None
 
     def test_p2_numbers_only_where_applicable(self):
-        for spec in ALL_KERNELS:
+        for spec in PAPER_KERNELS:
             has_p2_numbers = spec.paper.cgpa_p2_aluts is not None
             assert has_p2_numbers == spec.supports_p2
 

@@ -15,8 +15,11 @@ import dataclasses
 import pytest
 
 from repro.harness import run_kernel
-from repro.kernels import ALL_KERNELS, KernelSpec
+from repro.kernels import PAPER_KERNELS, KernelSpec
 
+# Paper-claim floors (e.g. >1.5x over LegUp) only bind the five kernels
+# the paper measured; the second wave's cross-backend correctness and
+# CGPA-not-slower direction live in tests/test_kernel_conformance.py.
 SMALL_ARGS = {
     "K-means": [32, 3, 4],
     "Hash-indexing": [96, 16],
@@ -33,7 +36,7 @@ def small(spec: KernelSpec) -> KernelSpec:
 @pytest.fixture(scope="module")
 def runs():
     out = {}
-    for spec in ALL_KERNELS:
+    for spec in PAPER_KERNELS:
         backends = ["mips", "legup", "cgpa-p1"]
         if spec.supports_p2:
             backends.append("cgpa-p2")

@@ -24,6 +24,10 @@ EXPRS = [
     "a[i] - b[i] * 2",
     "(a[i] ^ b[i]) & 255",
     "b[i] + i",
+    # Indirect addressing (the hash-join/spmv idiom): the read index is
+    # itself loaded from memory.
+    "a[b[i] & 127]",
+    "b[a[i] & 127] + i",
 ]
 
 UPDATES = [
@@ -32,11 +36,22 @@ UPDATES = [
     "if ({expr} > 20) acc += 1;",
     "if ((i & 1) == 0) b[i] = {expr}; else acc -= 1;",
     "acc += {expr};",
+    # Early exit: the pipelined loop's trip count depends on the data.
+    "if ({expr} > 58) break; acc += 1;",
+    # Indirect store: a memory-carried dependence the partitioner must
+    # keep sequential.
+    "b[a[i] & 127] = {expr}; acc ^= b[i];",
 ]
 
 INNER = [
     "",
     "int t = 0; for (int j = 0; j < 4; j++) t += a[(i + j) & 31]; acc += t;",
+    # Data-dependent inner bound (the spmv row-pointer idiom).
+    "int lim = a[i] & 7; int t = 0;"
+    " for (int j = 0; j < lim; j++) t += a[(i + j) & 31]; acc += t;",
+    # Break-terminated inner scan (the top-k sift / bfs idiom).
+    "for (int j = 0; j < 6; j++) { if (a[(i + j) & 31] > 40) break;"
+    " acc += 1; }",
 ]
 
 

@@ -35,7 +35,7 @@ ENGINES = ("event", "lockstep", "specialized")
 
 KERNEL_NAMES = [spec.name for spec in ALL_KERNELS]
 
-#: Scaled-down workloads: the policy matrix is 5 kernels x 3 policies x
+#: Scaled-down workloads: the policy matrix is 9 kernels x 3 policies x
 #: 3 engines; small inputs keep it a seconds-scale suite while running
 #: the exact same compiled pipelines as the full-size workloads.
 SMALL_ARGS = {
@@ -44,6 +44,10 @@ SMALL_ARGS = {
     "K-means": [24, 3, 4],
     "em3d": [48, 32, 4],
     "ks": [12, 12],
+    "bfs": [1, 40, 3],
+    "hash-join": [1, 40, 32, 8],
+    "spmv": [1, 20, 16, 3],
+    "top-k": [1, 48, 6],
 }
 
 _COMPILED: dict[tuple, object] = {}

@@ -14,11 +14,16 @@ CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
 
 @st.composite
 def random_program(draw):
-    """A small structured integer program with loops and branches."""
+    """A small structured integer program with loops and branches.
+
+    Covers the control idioms the kernel suite leans on: fixed-bound
+    loops, early-exit (``break``) loops, ``continue`` guards and
+    data-dependent ``while`` trip counts.
+    """
     n_stmts = draw(st.integers(1, 4))
     lines = ["int s = 1;"]
     for k in range(n_stmts):
-        kind = draw(st.integers(0, 3))
+        kind = draw(st.integers(0, 6))
         op = draw(st.sampled_from(BIN_OPS))
         cmp = draw(st.sampled_from(CMP_OPS))
         c1 = draw(st.integers(-10, 10))
@@ -31,8 +36,27 @@ def random_program(draw):
             lines.append(
                 f"for (int i{k} = 0; i{k} < {c2}; i{k}++) s = s {op} i{k};"
             )
-        else:
+        elif kind == 3:
             lines.append(f"{{ int t{k} = a {op} {c1}; s = s + t{k}; }}")
+        elif kind == 4:
+            # Early-exit bound: the loop leaves through a break whose
+            # condition depends on the accumulator.
+            lines.append(
+                f"for (int i{k} = 0; i{k} < {c2 + 4}; i{k}++) "
+                f"{{ if (s {cmp} {c1}) break; s = s {op} i{k}; }}"
+            )
+        elif kind == 5:
+            # Continue guard: only odd iterations update.
+            lines.append(
+                f"for (int i{k} = 0; i{k} < {c2}; i{k}++) "
+                f"{{ if ((i{k} & 1) == 0) continue; s = s {op} {c1}; }}"
+            )
+        else:
+            # Data-dependent trip count, always terminating.
+            lines.append(
+                f"int w{k} = s & 7; while (w{k} > 0) "
+                f"{{ s = s {op} {c2}; w{k} = w{k} - 1; }}"
+            )
     body = "\n            ".join(lines)
     return f"""
         int f(int a) {{
